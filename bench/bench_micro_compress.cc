@@ -1,0 +1,96 @@
+// M2: microbenchmarks of the block codecs and digests used by the
+// tree-file substrate and Metalink verification. google-benchmark based.
+
+#include <benchmark/benchmark.h>
+
+#include "common/checksum.h"
+#include "common/rng.h"
+#include "compress/codec.h"
+#include "root/tree_format.h"
+
+namespace davix {
+namespace {
+
+std::string MakePayload(int shape, size_t size) {
+  Rng rng(9);
+  switch (shape) {
+    case 0:
+      return rng.Bytes(size);  // incompressible
+    case 1:
+      return rng.CompressibleBytes(size);
+    default: {
+      // Basket-like: the synthetic event payload the tree files store.
+      root::TreeSpec spec = root::TreeSpec::Default();
+      std::string out;
+      for (uint64_t e = 0; out.size() < size; ++e) {
+        out += root::SyntheticEventBytes(spec, 7, e, 1);
+      }
+      out.resize(size);
+      return out;
+    }
+  }
+}
+
+void BM_Compress(benchmark::State& state) {
+  auto codec = static_cast<compress::CodecType>(state.range(0));
+  std::string payload = MakePayload(static_cast<int>(state.range(1)),
+                                    256 * 1024);
+  for (auto _ : state) {
+    std::string frame = compress::Compress(codec, payload);
+    benchmark::DoNotOptimize(frame);
+  }
+  state.SetBytesProcessed(state.iterations() * payload.size());
+}
+BENCHMARK(BM_Compress)
+    ->ArgsProduct({{1, 2}, {0, 1, 2}})  // codec (rle/dlz) x payload shape
+    ->ArgNames({"codec", "shape"});
+
+void BM_Decompress(benchmark::State& state) {
+  auto codec = static_cast<compress::CodecType>(state.range(0));
+  std::string payload = MakePayload(static_cast<int>(state.range(1)),
+                                    256 * 1024);
+  std::string frame = compress::Compress(codec, payload);
+  for (auto _ : state) {
+    auto out = compress::Decompress(frame);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(state.iterations() * payload.size());
+}
+BENCHMARK(BM_Decompress)
+    ->ArgsProduct({{1, 2}, {1, 2}})
+    ->ArgNames({"codec", "shape"});
+
+void BM_Crc32(benchmark::State& state) {
+  std::string payload = MakePayload(0, 1 << 20);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Crc32(payload));
+  }
+  state.SetBytesProcessed(state.iterations() * payload.size());
+}
+BENCHMARK(BM_Crc32);
+
+void BM_Md5(benchmark::State& state) {
+  std::string payload = MakePayload(0, 1 << 20);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Md5::HexDigest(payload));
+  }
+  state.SetBytesProcessed(state.iterations() * payload.size());
+}
+BENCHMARK(BM_Md5);
+
+void BM_BuildTreeBasket(benchmark::State& state) {
+  root::TreeSpec spec = root::TreeSpec::Default();
+  for (auto _ : state) {
+    std::string raw;
+    for (uint64_t e = 0; e < 64; ++e) {
+      raw += root::SyntheticEventBytes(spec, 7, e, 1);
+    }
+    benchmark::DoNotOptimize(compress::Compress(spec.codec, raw));
+  }
+}
+BENCHMARK(BM_BuildTreeBasket);
+
+}  // namespace
+}  // namespace davix
+
+BENCHMARK_MAIN();

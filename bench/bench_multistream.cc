@@ -1,0 +1,114 @@
+// E6 (§2.4): Metalink multi-stream downloads. The paper: "libdavix will
+// ... proceed to a multi-source parallel download of each referenced
+// chunk of data from a different replica. This approach has the advantage
+// to maximize the network bandwidth usage on the client side ... However,
+// it has for main drawback to overload considerably the servers."
+//
+// Workload: download a 24 MiB resource replicated on 3 servers, with a
+// plain single-stream GET and with 2/3 parallel streams, on LAN (where
+// one stream already saturates the link) and WAN (where per-connection
+// throughput is TCP-window-limited and parallel streams aggregate).
+// Reported: wall time, client-side throughput, and the per-server load
+// (requests served) that is the paper's stated drawback.
+
+#include "bench/bench_util.h"
+#include "common/checksum.h"
+#include "common/clock.h"
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "core/context.h"
+#include "core/dav_file.h"
+#include "core/metalink_engine.h"
+#include "fed/federation_handler.h"
+#include "fed/replica_catalog.h"
+
+namespace davix {
+namespace bench {
+namespace {
+
+constexpr size_t kObjectBytes = 24 * 1024 * 1024;
+constexpr char kPath[] = "/big/dataset.bin";
+
+void RunCell(const netsim::LinkProfile& link, const std::string& body,
+             size_t streams) {
+  // Fresh replicas per cell so load counters are per-run.
+  std::vector<HttpNode> replicas;
+  auto catalog = std::make_shared<fed::ReplicaCatalog>();
+  for (int i = 0; i < 3; ++i) {
+    auto store = std::make_shared<httpd::ObjectStore>();
+    store->Put(kPath, body);
+    replicas.push_back(StartHttpNode(link, store));
+    catalog->AddReplica(kPath, replicas.back().UrlFor(kPath), i + 1);
+  }
+  catalog->SetFileMeta(kPath, body.size(), Md5::HexDigest(body));
+  auto federation = std::make_shared<fed::FederationHandler>(catalog);
+  auto fed_router = std::make_shared<httpd::Router>();
+  federation->Register(fed_router.get(), "/");
+  auto fed_server = httpd::HttpServer::Start({}, fed_router);
+  if (!fed_server.ok()) std::exit(1);
+
+  core::Context context;
+  core::RequestParams params;
+  params.metalink_resolver = (*fed_server)->BaseUrl();
+  Stopwatch stopwatch;
+  Result<std::string> data = Status::OK();
+  if (streams <= 1) {
+    params.metalink_mode = core::MetalinkMode::kDisabled;
+    core::DavFile file =
+        *core::DavFile::Make(&context, replicas[0].UrlFor(kPath));
+    data = file.Get(params);
+  } else {
+    params.metalink_mode = core::MetalinkMode::kMultiStream;
+    params.multistream_max_streams = streams;
+    params.multistream_chunk_bytes = 4 * 1024 * 1024;
+    core::HttpClient client(&context);
+    core::MetalinkEngine engine(&client);
+    data = engine.MultiStreamGet(*Uri::Parse(replicas[0].UrlFor(kPath)),
+                                 params);
+  }
+  double total = stopwatch.ElapsedSeconds();
+  if (!data.ok() || data->size() != body.size()) {
+    std::fprintf(stderr, "download failed: %s\n",
+                 data.ok() ? "size mismatch" : data.status().ToString().c_str());
+    std::exit(1);
+  }
+  double mbps = static_cast<double>(body.size()) / total / 1e6;
+  std::printf("%-6s %8zu %10.3f %12.1f   ", link.name.c_str(), streams,
+              total, mbps);
+  for (HttpNode& node : replicas) {
+    std::printf(" %4llu", static_cast<unsigned long long>(
+                              node.handler->stats().get_requests.load()));
+    node.server->Stop();
+  }
+  std::printf("\n");
+  (*fed_server)->Stop();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace davix
+
+int main() {
+  using namespace davix;
+  using namespace davix::bench;
+  PrintHeader("E6: multi-stream multi-replica download",
+              "§2.4 of the libdavix paper (multi-stream strategy)");
+  Rng rng(6);
+  std::string body = rng.Bytes(kObjectBytes);
+
+  std::printf("%-6s %8s %10s %12s   %s\n", "link", "streams", "time[s]",
+              "MB/s", "requests per replica");
+  for (const netsim::LinkProfile& link :
+       {netsim::LinkProfile::Lan(), netsim::LinkProfile::Wan()}) {
+    for (size_t streams : {1u, 2u, 3u}) {
+      RunCell(link, body, streams);
+    }
+  }
+  std::printf(
+      "\nexpected shape: on WAN, per-connection throughput is window-\n"
+      "limited (~10 MB/s), so parallel streams aggregate substantially\n(bounded by per-connection slow-start ramps); on LAN a\n"
+      "single stream already saturates the 1 Gb/s link and multi-stream\n"
+      "only adds server load (the paper's stated drawback: requests\n"
+      "spread across every replica).\n");
+  return 0;
+}

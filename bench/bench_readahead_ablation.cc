@@ -1,0 +1,119 @@
+// E7 (§3 analysis, ablation): where XRootD's WAN advantage comes from.
+// The paper: "This difference of performance comes mainly from the
+// sliding windows buffering algorithm of XRootD which allows to minimize
+// the number of network round trips executed."
+//
+// Ablation A: xrootd sequential read of a 16 MiB object at WAN with
+// sliding-window sizes 0 (pure synchronous) to 8 chunks in flight.
+// Ablation B: the davix side — sequential DavPosix reads with and
+// without its (synchronous) read-ahead buffer, which cuts request count
+// but cannot overlap latency.
+
+#include "bench/bench_util.h"
+#include "common/clock.h"
+#include "common/rng.h"
+#include "core/context.h"
+#include "core/dav_posix.h"
+#include "xrootd/readahead.h"
+#include "xrootd/xrd_client.h"
+
+namespace davix {
+namespace bench {
+namespace {
+
+constexpr size_t kObjectBytes = 16 * 1024 * 1024;
+constexpr size_t kConsumeChunk = 256 * 1024;
+constexpr char kPath[] = "/seq/data.bin";
+
+void RunXrdWindow(const netsim::LinkProfile& link,
+                  std::shared_ptr<httpd::ObjectStore> store,
+                  size_t window_chunks) {
+  auto server = StartXrdNode(link, store);
+  auto client = std::move(xrootd::XrdClient::Connect("127.0.0.1", server->port())).value();
+  if (!client->Login().ok()) std::exit(1);
+  auto open = client->Open(kPath);
+  if (!open.ok()) std::exit(1);
+
+  xrootd::ReadAheadConfig config;
+  config.chunk_bytes = 512 * 1024;
+  config.window_chunks = window_chunks;
+  xrootd::XrdReadAheadStream stream(client.get(), open->handle, open->size,
+                                    config);
+  Stopwatch stopwatch;
+  uint64_t consumed = 0;
+  while (true) {
+    auto chunk = stream.Read(kConsumeChunk);
+    if (!chunk.ok()) std::exit(1);
+    if (chunk->empty()) break;
+    consumed += chunk->size();
+    // Model per-chunk processing so the window has something to hide.
+    SleepForMicros(2'000);
+  }
+  double total = stopwatch.ElapsedSeconds();
+  std::printf("%-6s xrootd window=%zu %10.3f %12.1f\n", link.name.c_str(),
+              window_chunks, total,
+              static_cast<double>(consumed) / total / 1e6);
+  server->Stop();
+}
+
+void RunDavixReadahead(const netsim::LinkProfile& link,
+                       std::shared_ptr<httpd::ObjectStore> store,
+                       uint64_t readahead_bytes) {
+  HttpNode node = StartHttpNode(link, store);
+  core::Context context;
+  core::DavPosix posix(&context);
+  core::RequestParams params;
+  params.metalink_mode = core::MetalinkMode::kDisabled;
+  params.readahead_bytes = readahead_bytes;
+  auto fd = posix.Open(node.UrlFor(kPath), params);
+  if (!fd.ok()) std::exit(1);
+
+  Stopwatch stopwatch;
+  uint64_t consumed = 0;
+  while (true) {
+    auto chunk = posix.Read(*fd, kConsumeChunk);
+    if (!chunk.ok()) std::exit(1);
+    if (chunk->empty()) break;
+    consumed += chunk->size();
+    SleepForMicros(2'000);
+  }
+  double total = stopwatch.ElapsedSeconds();
+  IoCounters io = context.SnapshotCounters();
+  std::printf("%-6s davix ra=%-8llu %10.3f %12.1f   (%llu requests)\n",
+              link.name.c_str(),
+              static_cast<unsigned long long>(readahead_bytes), total,
+              static_cast<double>(consumed) / total / 1e6,
+              static_cast<unsigned long long>(io.requests));
+  (void)posix.Close(*fd);
+  node.server->Stop();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace davix
+
+int main() {
+  using namespace davix;
+  using namespace davix::bench;
+  PrintHeader("E7: sliding-window read-ahead ablation",
+              "§3 of the libdavix paper (XRootD's WAN advantage)");
+  auto store = std::make_shared<httpd::ObjectStore>();
+  Rng rng(7);
+  store->Put(kPath, rng.Bytes(kObjectBytes));
+
+  std::printf("%-6s %-20s %10s %12s\n", "link", "reader", "time[s]", "MB/s");
+  netsim::LinkProfile wan = netsim::LinkProfile::Wan();
+  for (size_t window : {0u, 1u, 2u, 4u, 8u}) {
+    RunXrdWindow(wan, store, window);
+  }
+  for (uint64_t readahead : {0ull, 1ull << 20, 4ull << 20}) {
+    RunDavixReadahead(wan, store, readahead);
+  }
+  std::printf(
+      "\nexpected shape: xrootd throughput rises with the window until the\n"
+      "pipe is full (window ~ bandwidth-delay product), reproducing the\n"
+      "mechanism behind Figure 4's WAN column. Davix's synchronous read-\n"
+      "ahead cuts the request count but each refill still stalls a full\n"
+      "RTT, so it trails the async window at equal buffer size.\n");
+  return 0;
+}

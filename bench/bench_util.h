@@ -1,0 +1,94 @@
+#ifndef DAVIX_BENCH_BENCH_UTIL_H_
+#define DAVIX_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "httpd/dav_handler.h"
+#include "httpd/object_store.h"
+#include "httpd/router.h"
+#include "httpd/server.h"
+#include "netsim/link_profile.h"
+#include "xrootd/xrd_server.h"
+
+namespace davix {
+namespace bench {
+
+/// Prints a banner naming the experiment and its paper artefact.
+inline void PrintHeader(const std::string& experiment,
+                        const std::string& paper_ref) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", experiment.c_str());
+  std::printf("reproduces: %s\n", paper_ref.c_str());
+  std::printf("================================================================\n");
+}
+
+/// The three network classes of §3 plus loopback for sanity rows.
+inline std::vector<netsim::LinkProfile> PaperProfiles() {
+  return {netsim::LinkProfile::Lan(), netsim::LinkProfile::PanEuropean(),
+          netsim::LinkProfile::Wan()};
+}
+
+/// One HTTP storage node on a given simulated link, sharing `store`.
+struct HttpNode {
+  std::shared_ptr<httpd::ObjectStore> store;
+  std::shared_ptr<httpd::DavHandler> handler;
+  std::shared_ptr<httpd::Router> router;
+  std::unique_ptr<httpd::HttpServer> server;
+
+  std::string UrlFor(const std::string& path) const {
+    return server->BaseUrl() + path;
+  }
+};
+
+inline HttpNode StartHttpNode(const netsim::LinkProfile& link,
+                              std::shared_ptr<httpd::ObjectStore> store) {
+  HttpNode node;
+  node.store = store ? std::move(store)
+                     : std::make_shared<httpd::ObjectStore>();
+  node.handler = std::make_shared<httpd::DavHandler>(node.store);
+  node.router = std::make_shared<httpd::Router>();
+  node.handler->Register(node.router.get(), "/");
+  httpd::ServerConfig config;
+  config.link = link;
+  auto server = httpd::HttpServer::Start(config, node.router);
+  if (!server.ok()) {
+    std::fprintf(stderr, "fatal: cannot start http node: %s\n",
+                 server.status().ToString().c_str());
+    std::exit(1);
+  }
+  node.server = std::move(*server);
+  return node;
+}
+
+/// One xrootd-like node on a given link, sharing `store`.
+inline std::unique_ptr<xrootd::XrdServer> StartXrdNode(
+    const netsim::LinkProfile& link,
+    std::shared_ptr<httpd::ObjectStore> store) {
+  xrootd::XrdServerConfig config;
+  config.link = link;
+  auto server = xrootd::XrdServer::Start(config, std::move(store));
+  if (!server.ok()) {
+    std::fprintf(stderr, "fatal: cannot start xrd node: %s\n",
+                 server.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(*server);
+}
+
+/// Pretty bar for "less is better" time columns, paper-figure style.
+inline std::string Bar(double value, double max_value, int width = 36) {
+  int n = max_value > 0
+              ? static_cast<int>(value / max_value * width + 0.5)
+              : 0;
+  if (n > width) n = width;
+  return std::string(static_cast<size_t>(n), '#');
+}
+
+}  // namespace bench
+}  // namespace davix
+
+#endif  // DAVIX_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,82 @@
+#include "common/base64.h"
+
+#include <array>
+
+namespace davix {
+namespace {
+
+constexpr char kAlphabet[] =
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+std::array<int8_t, 256> BuildReverse() {
+  std::array<int8_t, 256> rev;
+  rev.fill(-1);
+  for (int i = 0; i < 64; ++i) {
+    rev[static_cast<unsigned char>(kAlphabet[i])] = static_cast<int8_t>(i);
+  }
+  return rev;
+}
+
+}  // namespace
+
+std::string Base64Encode(std::string_view data) {
+  std::string out;
+  out.reserve((data.size() + 2) / 3 * 4);
+  size_t i = 0;
+  while (i + 3 <= data.size()) {
+    uint32_t n = static_cast<unsigned char>(data[i]) << 16 |
+                 static_cast<unsigned char>(data[i + 1]) << 8 |
+                 static_cast<unsigned char>(data[i + 2]);
+    out.push_back(kAlphabet[(n >> 18) & 63]);
+    out.push_back(kAlphabet[(n >> 12) & 63]);
+    out.push_back(kAlphabet[(n >> 6) & 63]);
+    out.push_back(kAlphabet[n & 63]);
+    i += 3;
+  }
+  size_t rest = data.size() - i;
+  if (rest == 1) {
+    uint32_t n = static_cast<unsigned char>(data[i]) << 16;
+    out.push_back(kAlphabet[(n >> 18) & 63]);
+    out.push_back(kAlphabet[(n >> 12) & 63]);
+    out.push_back('=');
+    out.push_back('=');
+  } else if (rest == 2) {
+    uint32_t n = static_cast<unsigned char>(data[i]) << 16 |
+                 static_cast<unsigned char>(data[i + 1]) << 8;
+    out.push_back(kAlphabet[(n >> 18) & 63]);
+    out.push_back(kAlphabet[(n >> 12) & 63]);
+    out.push_back(kAlphabet[(n >> 6) & 63]);
+    out.push_back('=');
+  }
+  return out;
+}
+
+Result<std::string> Base64Decode(std::string_view encoded) {
+  static const std::array<int8_t, 256> kReverse = BuildReverse();
+  // Strip trailing padding.
+  while (!encoded.empty() && encoded.back() == '=') {
+    encoded.remove_suffix(1);
+  }
+  if (encoded.size() % 4 == 1) {
+    return Status::InvalidArgument("base64 length % 4 == 1 is impossible");
+  }
+  std::string out;
+  out.reserve(encoded.size() * 3 / 4);
+  uint32_t acc = 0;
+  int bits = 0;
+  for (char c : encoded) {
+    int8_t v = kReverse[static_cast<unsigned char>(c)];
+    if (v < 0) {
+      return Status::InvalidArgument("invalid base64 character");
+    }
+    acc = (acc << 6) | static_cast<uint32_t>(v);
+    bits += 6;
+    if (bits >= 8) {
+      bits -= 8;
+      out.push_back(static_cast<char>((acc >> bits) & 0xFF));
+    }
+  }
+  return out;
+}
+
+}  // namespace davix

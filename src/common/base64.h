@@ -1,0 +1,21 @@
+#ifndef DAVIX_COMMON_BASE64_H_
+#define DAVIX_COMMON_BASE64_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace davix {
+
+/// Standard base64 with padding (RFC 4648 §4); used for HTTP Basic auth
+/// and binary fields in XML documents.
+std::string Base64Encode(std::string_view data);
+
+/// Decodes standard base64; tolerates absent padding, rejects other
+/// malformed input.
+Result<std::string> Base64Decode(std::string_view encoded);
+
+}  // namespace davix
+
+#endif  // DAVIX_COMMON_BASE64_H_

@@ -1,0 +1,172 @@
+#include "common/checksum.h"
+
+#include <cstring>
+
+#include "common/string_util.h"
+
+namespace davix {
+namespace {
+
+// Generated lazily: table[i] = CRC of the single byte i.
+const uint32_t* Crc32Table() {
+  static uint32_t table[256];
+  static bool initialized = [] {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      table[i] = c;
+    }
+    return true;
+  }();
+  (void)initialized;
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32(std::string_view data, uint32_t seed) {
+  const uint32_t* table = Crc32Table();
+  uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (unsigned char byte : data) {
+    c = table[(c ^ byte) & 0xFF] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+namespace {
+
+// RFC 1321 constants.
+constexpr uint32_t kMd5K[64] = {
+    0xd76aa478, 0xe8c7b756, 0x242070db, 0xc1bdceee, 0xf57c0faf, 0x4787c62a,
+    0xa8304613, 0xfd469501, 0x698098d8, 0x8b44f7af, 0xffff5bb1, 0x895cd7be,
+    0x6b901122, 0xfd987193, 0xa679438e, 0x49b40821, 0xf61e2562, 0xc040b340,
+    0x265e5a51, 0xe9b6c7aa, 0xd62f105d, 0x02441453, 0xd8a1e681, 0xe7d3fbc8,
+    0x21e1cde6, 0xc33707d6, 0xf4d50d87, 0x455a14ed, 0xa9e3e905, 0xfcefa3f8,
+    0x676f02d9, 0x8d2a4c8a, 0xfffa3942, 0x8771f681, 0x6d9d6122, 0xfde5380c,
+    0xa4beea44, 0x4bdecfa9, 0xf6bb4b60, 0xbebfbc70, 0x289b7ec6, 0xeaa127fa,
+    0xd4ef3085, 0x04881d05, 0xd9d4d039, 0xe6db99e5, 0x1fa27cf8, 0xc4ac5665,
+    0xf4292244, 0x432aff97, 0xab9423a7, 0xfc93a039, 0x655b59c3, 0x8f0ccc92,
+    0xffeff47d, 0x85845dd1, 0x6fa87e4f, 0xfe2ce6e0, 0xa3014314, 0x4e0811a1,
+    0xf7537e82, 0xbd3af235, 0x2ad7d2bb, 0xeb86d391};
+
+constexpr int kMd5Shift[64] = {7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22,
+                               7, 12, 17, 22, 5, 9,  14, 20, 5, 9,  14, 20,
+                               5, 9,  14, 20, 5, 9,  14, 20, 4, 11, 16, 23,
+                               4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23,
+                               6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21,
+                               6, 10, 15, 21};
+
+uint32_t RotateLeft(uint32_t x, int n) { return (x << n) | (x >> (32 - n)); }
+
+}  // namespace
+
+Md5::Md5() {
+  state_[0] = 0x67452301;
+  state_[1] = 0xefcdab89;
+  state_[2] = 0x98badcfe;
+  state_[3] = 0x10325476;
+}
+
+void Md5::Update(std::string_view data) {
+  length_ += data.size();
+  const uint8_t* p = reinterpret_cast<const uint8_t*>(data.data());
+  size_t remaining = data.size();
+  if (buffered_ > 0) {
+    size_t take = std::min(remaining, sizeof(buffer_) - buffered_);
+    std::memcpy(buffer_ + buffered_, p, take);
+    buffered_ += take;
+    p += take;
+    remaining -= take;
+    if (buffered_ == sizeof(buffer_)) {
+      ProcessBlock(buffer_);
+      buffered_ = 0;
+    }
+  }
+  while (remaining >= 64) {
+    ProcessBlock(p);
+    p += 64;
+    remaining -= 64;
+  }
+  if (remaining > 0) {
+    std::memcpy(buffer_, p, remaining);
+    buffered_ = remaining;
+  }
+}
+
+void Md5::ProcessBlock(const uint8_t* block) {
+  uint32_t m[16];
+  for (int i = 0; i < 16; ++i) {
+    m[i] = static_cast<uint32_t>(block[i * 4]) |
+           static_cast<uint32_t>(block[i * 4 + 1]) << 8 |
+           static_cast<uint32_t>(block[i * 4 + 2]) << 16 |
+           static_cast<uint32_t>(block[i * 4 + 3]) << 24;
+  }
+  uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3];
+  for (int i = 0; i < 64; ++i) {
+    uint32_t f;
+    int g;
+    if (i < 16) {
+      f = (b & c) | (~b & d);
+      g = i;
+    } else if (i < 32) {
+      f = (d & b) | (~d & c);
+      g = (5 * i + 1) % 16;
+    } else if (i < 48) {
+      f = b ^ c ^ d;
+      g = (3 * i + 5) % 16;
+    } else {
+      f = c ^ (b | ~d);
+      g = (7 * i) % 16;
+    }
+    uint32_t temp = d;
+    d = c;
+    c = b;
+    b = b + RotateLeft(a + f + kMd5K[i] + m[g], kMd5Shift[i]);
+    a = temp;
+  }
+  state_[0] += a;
+  state_[1] += b;
+  state_[2] += c;
+  state_[3] += d;
+}
+
+std::array<uint8_t, 16> Md5::Digest() {
+  if (!finalized_) {
+    uint64_t bit_length = length_ * 8;
+    // Pad: 0x80 then zeros to 56 mod 64, then the 64-bit little-endian
+    // message length.
+    uint8_t pad[72] = {0x80};
+    size_t pad_len = (buffered_ < 56) ? 56 - buffered_ : 120 - buffered_;
+    Update(std::string_view(reinterpret_cast<char*>(pad), pad_len));
+    uint8_t len_bytes[8];
+    for (int i = 0; i < 8; ++i) {
+      len_bytes[i] = static_cast<uint8_t>(bit_length >> (8 * i));
+    }
+    // Update() would grow length_, but we already captured bit_length.
+    const uint8_t* p = len_bytes;
+    std::memcpy(buffer_ + buffered_, p, 8);
+    buffered_ += 8;
+    ProcessBlock(buffer_);
+    buffered_ = 0;
+    finalized_ = true;
+  }
+  std::array<uint8_t, 16> digest;
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      digest[i * 4 + j] = static_cast<uint8_t>(state_[i] >> (8 * j));
+    }
+  }
+  return digest;
+}
+
+std::string Md5::HexDigest(std::string_view data) {
+  Md5 md5;
+  md5.Update(data);
+  std::array<uint8_t, 16> digest = md5.Digest();
+  return HexEncode(
+      std::string_view(reinterpret_cast<char*>(digest.data()), digest.size()));
+}
+
+}  // namespace davix

@@ -1,0 +1,42 @@
+#ifndef DAVIX_COMMON_CHECKSUM_H_
+#define DAVIX_COMMON_CHECKSUM_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace davix {
+
+/// CRC-32 (IEEE 802.3 polynomial, the zlib crc32). Used to protect
+/// compressed baskets and protocol frames.
+uint32_t Crc32(std::string_view data, uint32_t seed = 0);
+
+/// Incremental MD5 (RFC 1321). Metalink documents carry md5 hashes of
+/// whole files; davix verifies downloads against them.
+class Md5 {
+ public:
+  Md5();
+
+  void Update(std::string_view data);
+
+  /// Finalises and returns the 16-byte digest. The object must not be
+  /// updated afterwards.
+  std::array<uint8_t, 16> Digest();
+
+  /// Convenience: hex digest of `data` in one call.
+  static std::string HexDigest(std::string_view data);
+
+ private:
+  void ProcessBlock(const uint8_t* block);
+
+  uint32_t state_[4];
+  uint64_t length_ = 0;
+  uint8_t buffer_[64];
+  size_t buffered_ = 0;
+  bool finalized_ = false;
+};
+
+}  // namespace davix
+
+#endif  // DAVIX_COMMON_CHECKSUM_H_

@@ -1,0 +1,12 @@
+#include "common/clock.h"
+
+#include <thread>
+
+namespace davix {
+
+void SleepForMicros(int64_t micros) {
+  if (micros <= 0) return;
+  std::this_thread::sleep_for(std::chrono::microseconds(micros));
+}
+
+}  // namespace davix

@@ -1,0 +1,43 @@
+#ifndef DAVIX_COMMON_CLOCK_H_
+#define DAVIX_COMMON_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace davix {
+
+/// Microseconds on a monotonic clock, for durations and deadlines.
+inline int64_t MonotonicMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Seconds since the Unix epoch on the wall clock, for HTTP Date headers.
+inline int64_t WallSeconds() {
+  return std::chrono::duration_cast<std::chrono::seconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Sleeps the calling thread; the unit of pacing in the network simulator.
+void SleepForMicros(int64_t micros);
+
+/// Wall-clock stopwatch used by benchmarks and tests.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(MonotonicMicros()) {}
+
+  void Restart() { start_ = MonotonicMicros(); }
+  int64_t ElapsedMicros() const { return MonotonicMicros() - start_; }
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedMicros()) / 1e6;
+  }
+
+ private:
+  int64_t start_;
+};
+
+}  // namespace davix
+
+#endif  // DAVIX_COMMON_CLOCK_H_

@@ -1,0 +1,55 @@
+#ifndef DAVIX_COMMON_LOGGING_H_
+#define DAVIX_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace davix {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+/// Sets the process-wide minimum level that is emitted. Thread-safe.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log sink; emits one line to stderr on destruction.
+/// Use through the DAVIX_LOG macro, not directly.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+/// Usage: DAVIX_LOG(kInfo) << "pool size " << n;
+/// The message is dropped with no formatting cost when the level is below
+/// the configured threshold.
+#define DAVIX_LOG(severity)                                             \
+  if (::davix::LogLevel::severity < ::davix::GetLogLevel()) {           \
+  } else                                                                \
+    ::davix::internal::LogMessage(::davix::LogLevel::severity, __FILE__, \
+                                  __LINE__)                             \
+        .stream()
+
+}  // namespace davix
+
+#endif  // DAVIX_COMMON_LOGGING_H_

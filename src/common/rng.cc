@@ -1,0 +1,25 @@
+#include "common/rng.h"
+
+namespace davix {
+
+std::string Rng::CompressibleBytes(size_t n) {
+  static constexpr char kWords[] =
+      "event track muon pion kaon jet vertex cluster energy momentum ";
+  std::string out;
+  out.reserve(n);
+  while (out.size() < n) {
+    if (Chance(0.3)) {
+      // Run of a repeated byte.
+      char c = static_cast<char>('a' + Below(26));
+      size_t len = 4 + Below(24);
+      out.append(std::min(len, n - out.size()), c);
+    } else {
+      size_t start = Below(sizeof(kWords) - 9);
+      size_t len = 4 + Below(8);
+      out.append(kWords + start, std::min(len, n - out.size()));
+    }
+  }
+  return out;
+}
+
+}  // namespace davix

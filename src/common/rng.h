@@ -1,0 +1,92 @@
+#ifndef DAVIX_COMMON_RNG_H_
+#define DAVIX_COMMON_RNG_H_
+
+#include <cstdint>
+#include <string>
+
+namespace davix {
+
+/// Deterministic 64-bit PRNG (splitmix64 seeded xorshift128+).
+///
+/// Every randomised component of this repository — workload generators,
+/// fault plans, property tests — draws from this generator so that runs are
+/// reproducible from a single seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    // splitmix64 expansion of the seed into two non-zero lanes.
+    uint64_t z = seed;
+    s0_ = SplitMix(&z);
+    s1_ = SplitMix(&z);
+    if (s0_ == 0 && s1_ == 0) s1_ = 1;
+  }
+
+  /// Uniform 64-bit value.
+  uint64_t Next() {
+    uint64_t x = s0_;
+    const uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  /// Uniform in [0, bound). bound must be > 0.
+  uint64_t Below(uint64_t bound) { return Next() % bound; }
+
+  /// Uniform in [lo, hi] inclusive.
+  int64_t Range(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Below(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// True with probability p.
+  bool Chance(double p) { return NextDouble() < p; }
+
+  /// Approximately normal (Irwin–Hall of 8 uniforms), mean 0 stddev ~1.
+  double NextGaussian() {
+    double sum = 0;
+    for (int i = 0; i < 8; ++i) sum += NextDouble();
+    return (sum - 4.0) * 1.2247448713915890;  // sqrt(12/8)
+  }
+
+  /// Random bytes, for payload generation.
+  std::string Bytes(size_t n) {
+    std::string out;
+    out.resize(n);
+    size_t i = 0;
+    while (i + 8 <= n) {
+      uint64_t v = Next();
+      for (int k = 0; k < 8; ++k) out[i++] = static_cast<char>(v >> (8 * k));
+    }
+    uint64_t v = Next();
+    while (i < n) {
+      out[i++] = static_cast<char>(v);
+      v >>= 8;
+    }
+    return out;
+  }
+
+  /// Compressible text-like bytes (drawn from a small alphabet with runs),
+  /// so codec benchmarks see realistic ratios.
+  std::string CompressibleBytes(size_t n);
+
+ private:
+  static uint64_t SplitMix(uint64_t* state) {
+    uint64_t z = (*state += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  uint64_t s0_;
+  uint64_t s1_;
+};
+
+}  // namespace davix
+
+#endif  // DAVIX_COMMON_RNG_H_

@@ -1,0 +1,56 @@
+#ifndef DAVIX_COMMON_STATS_H_
+#define DAVIX_COMMON_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace davix {
+
+/// Accumulates samples (latencies, run times) and reports summary
+/// statistics; the measurement core of the benchmark harness.
+class SampleStats {
+ public:
+  void Add(double value);
+
+  size_t count() const { return samples_.size(); }
+  double Mean() const;
+  /// Sample standard deviation (n-1 denominator); 0 for < 2 samples.
+  double Stddev() const;
+  double Min() const;
+  double Max() const;
+  /// Linear-interpolation percentile, q in [0, 100].
+  double Percentile(double q) const;
+
+  /// "mean=12.3 sd=0.4 min=11.8 max=13.1 n=5" with the given unit suffix.
+  std::string Summary(const std::string& unit) const;
+
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  std::vector<double> samples_;
+};
+
+/// Counter set shared by clients/servers to report I/O behaviour:
+/// the paper's claims are about *numbers of operations and connections*,
+/// so those are first-class measurables here.
+struct IoCounters {
+  uint64_t requests = 0;           ///< protocol-level requests issued
+  uint64_t network_round_trips = 0;///< request/response exchanges on the wire
+  uint64_t bytes_read = 0;
+  uint64_t bytes_written = 0;
+  uint64_t connections_opened = 0;
+  uint64_t connections_reused = 0;
+  uint64_t redirects_followed = 0;
+  uint64_t retries = 0;
+  uint64_t replica_failovers = 0;
+  uint64_t vector_queries = 0;     ///< multi-range queries issued
+  uint64_t ranges_requested = 0;   ///< individual ranges inside them
+
+  void Reset() { *this = IoCounters{}; }
+  std::string ToString() const;
+};
+
+}  // namespace davix
+
+#endif  // DAVIX_COMMON_STATS_H_

@@ -1,0 +1,75 @@
+#include "common/status.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace davix {
+
+std::string_view StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kInvalidArgument:
+      return "invalid_argument";
+    case StatusCode::kNotFound:
+      return "not_found";
+    case StatusCode::kPermissionDenied:
+      return "permission_denied";
+    case StatusCode::kConnectionFailed:
+      return "connection_failed";
+    case StatusCode::kConnectionReset:
+      return "connection_reset";
+    case StatusCode::kTimeout:
+      return "timeout";
+    case StatusCode::kProtocolError:
+      return "protocol_error";
+    case StatusCode::kRemoteError:
+      return "remote_error";
+    case StatusCode::kRedirectLoop:
+      return "redirect_loop";
+    case StatusCode::kRangeNotSatisfiable:
+      return "range_not_satisfiable";
+    case StatusCode::kIoError:
+      return "io_error";
+    case StatusCode::kCorruption:
+      return "corruption";
+    case StatusCode::kNotSupported:
+      return "not_supported";
+    case StatusCode::kAllReplicasFailed:
+      return "all_replicas_failed";
+    case StatusCode::kCancelled:
+      return "cancelled";
+    case StatusCode::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "ok";
+  std::string out(StatusCodeName(code_));
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+Status Status::WithContext(std::string_view context) const {
+  if (ok()) return *this;
+  std::string msg(context);
+  msg += ": ";
+  msg += message_;
+  return Status(code_, std::move(msg));
+}
+
+namespace internal {
+
+void DieBadResultAccess(const Status& status) {
+  std::fprintf(stderr, "fatal: value() called on failed Result: %s\n",
+               status.ToString().c_str());
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace davix

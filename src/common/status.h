@@ -1,0 +1,244 @@
+#ifndef DAVIX_COMMON_STATUS_H_
+#define DAVIX_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace davix {
+
+/// Error taxonomy shared by every layer of the library.
+///
+/// Codes are deliberately coarse: callers branch on the category of a
+/// failure (retryable? replica-level? protocol-level?), not on the exact
+/// syscall that produced it. The human-readable detail lives in the message.
+enum class StatusCode {
+  kOk = 0,
+  /// Generic invalid argument supplied by the caller.
+  kInvalidArgument,
+  /// Resource (path, host, replica) does not exist.
+  kNotFound,
+  /// Authentication / permission failure (HTTP 401/403).
+  kPermissionDenied,
+  /// Connection could not be established (refused, unreachable, DNS).
+  kConnectionFailed,
+  /// Connection died mid-operation (reset, EOF inside a message).
+  kConnectionReset,
+  /// Operation exceeded its deadline.
+  kTimeout,
+  /// Peer spoke the protocol incorrectly (malformed HTTP/frame/XML).
+  kProtocolError,
+  /// Server reported an internal error (HTTP 5xx, xrootd kErr).
+  kRemoteError,
+  /// Redirect limit exceeded or redirect loop.
+  kRedirectLoop,
+  /// Range/vector request not satisfiable (HTTP 416).
+  kRangeNotSatisfiable,
+  /// Local I/O failure (file system).
+  kIoError,
+  /// Data failed integrity verification (checksum mismatch, bad magic).
+  kCorruption,
+  /// Feature not implemented / not supported by the peer.
+  kNotSupported,
+  /// All replicas of a resource were tried and none worked.
+  kAllReplicasFailed,
+  /// Operation cancelled by the caller.
+  kCancelled,
+  /// Internal invariant violation; indicates a bug in this library.
+  kInternal,
+};
+
+/// Returns a stable lower-case identifier such as "ok" or "timeout".
+std::string_view StatusCodeName(StatusCode code);
+
+/// Arrow/RocksDB-style status object. Functions that can fail return a
+/// Status (or a Result<T>, below) instead of throwing: no exception ever
+/// crosses a public API boundary of this library.
+///
+/// The OK status carries no allocation and is cheap to copy.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status PermissionDenied(std::string msg) {
+    return Status(StatusCode::kPermissionDenied, std::move(msg));
+  }
+  static Status ConnectionFailed(std::string msg) {
+    return Status(StatusCode::kConnectionFailed, std::move(msg));
+  }
+  static Status ConnectionReset(std::string msg) {
+    return Status(StatusCode::kConnectionReset, std::move(msg));
+  }
+  static Status Timeout(std::string msg) {
+    return Status(StatusCode::kTimeout, std::move(msg));
+  }
+  static Status ProtocolError(std::string msg) {
+    return Status(StatusCode::kProtocolError, std::move(msg));
+  }
+  static Status RemoteError(std::string msg) {
+    return Status(StatusCode::kRemoteError, std::move(msg));
+  }
+  static Status RedirectLoop(std::string msg) {
+    return Status(StatusCode::kRedirectLoop, std::move(msg));
+  }
+  static Status RangeNotSatisfiable(std::string msg) {
+    return Status(StatusCode::kRangeNotSatisfiable, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status AllReplicasFailed(std::string msg) {
+    return Status(StatusCode::kAllReplicasFailed, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsTimeout() const { return code_ == StatusCode::kTimeout; }
+
+  /// True for failures where retrying the same request (possibly on a fresh
+  /// connection or another replica) has a chance of succeeding.
+  bool IsRetryable() const {
+    switch (code_) {
+      case StatusCode::kConnectionFailed:
+      case StatusCode::kConnectionReset:
+      case StatusCode::kTimeout:
+      case StatusCode::kRemoteError:
+        return true;
+      default:
+        return false;
+    }
+  }
+
+  /// Renders "code: message" for logs and test diagnostics.
+  std::string ToString() const;
+
+  /// Returns a copy of this status with `context` prepended to the message,
+  /// used to build an error trail as a failure propagates upward.
+  Status WithContext(std::string_view context) const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Result<T> is either a value or a Status; exactly one is present.
+/// Mirrors arrow::Result / absl::StatusOr.
+template <typename T>
+class Result {
+ public:
+  /// Intentionally implicit so `return value;` works in functions returning
+  /// Result<T>, mirroring arrow::Result.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT
+  /// Intentionally implicit so `return status;` propagates failures.
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Precondition: ok(). Accessing the value of a failed Result aborts.
+  T& value() & {
+    CheckOk();
+    return *value_;
+  }
+  const T& value() const& {
+    CheckOk();
+    return *value_;
+  }
+  T&& value() && {
+    CheckOk();
+    return std::move(*value_);
+  }
+
+  T* operator->() {
+    CheckOk();
+    return &*value_;
+  }
+  const T* operator->() const {
+    CheckOk();
+    return &*value_;
+  }
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+
+  /// Returns the value, or `fallback` if this Result holds an error.
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  void CheckOk() const;
+
+  std::optional<T> value_;
+  Status status_;
+};
+
+namespace internal {
+/// Aborts the process with `status` printed; used for Result misuse, which
+/// is a programming error rather than a runtime failure.
+[[noreturn]] void DieBadResultAccess(const Status& status);
+}  // namespace internal
+
+template <typename T>
+void Result<T>::CheckOk() const {
+  if (!ok()) internal::DieBadResultAccess(status_);
+}
+
+/// Propagates a failing Status from an expression, Arrow-style.
+#define DAVIX_RETURN_IF_ERROR(expr)                  \
+  do {                                               \
+    ::davix::Status _st = (expr);                    \
+    if (!_st.ok()) return _st;                       \
+  } while (0)
+
+/// Evaluates a Result<T> expression; on failure returns its Status, on
+/// success assigns the value to `lhs`.
+#define DAVIX_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value();
+
+#define DAVIX_ASSIGN_OR_RETURN_CONCAT(a, b) a##b
+#define DAVIX_ASSIGN_OR_RETURN_NAME(a, b) DAVIX_ASSIGN_OR_RETURN_CONCAT(a, b)
+#define DAVIX_ASSIGN_OR_RETURN(lhs, expr)                                  \
+  DAVIX_ASSIGN_OR_RETURN_IMPL(                                             \
+      DAVIX_ASSIGN_OR_RETURN_NAME(_davix_result_, __COUNTER__), lhs, expr)
+
+}  // namespace davix
+
+#endif  // DAVIX_COMMON_STATUS_H_

@@ -1,0 +1,50 @@
+#ifndef DAVIX_COMMON_STRING_UTIL_H_
+#define DAVIX_COMMON_STRING_UTIL_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace davix {
+
+/// Splits `input` on `sep`, keeping empty fields ("a,,b" -> {"a","","b"}).
+std::vector<std::string> SplitString(std::string_view input, char sep);
+
+/// Splits on `sep`, trimming ASCII whitespace from each field and dropping
+/// fields that end up empty. Suited to HTTP list-style header values.
+std::vector<std::string> SplitAndTrim(std::string_view input, char sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view TrimWhitespace(std::string_view s);
+
+/// ASCII case-insensitive equality (HTTP header names, schemes, hosts).
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// Lower-cases ASCII characters only.
+std::string AsciiLower(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Parses a non-negative decimal integer. Rejects empty strings, signs,
+/// non-digits and overflow.
+std::optional<uint64_t> ParseUint64(std::string_view s);
+
+/// Parses a signed decimal integer.
+std::optional<int64_t> ParseInt64(std::string_view s);
+
+/// Joins `parts` with `sep` ({"a","b"} + "," -> "a,b").
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        std::string_view sep);
+
+/// Formats a byte count for humans: "1.5 MiB", "312 B".
+std::string HumanBytes(uint64_t bytes);
+
+/// Lower-case hex encoding of arbitrary bytes.
+std::string HexEncode(std::string_view data);
+
+}  // namespace davix
+
+#endif  // DAVIX_COMMON_STRING_UTIL_H_

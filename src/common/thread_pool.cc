@@ -1,0 +1,60 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace davix {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  size_t n = std::max<size_t>(1, num_threads);
+  workers_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+bool ThreadPool::Submit(std::function<void()> task) {
+  return queue_.Push(std::move(task));
+}
+
+void ThreadPool::Shutdown() {
+  queue_.Close();
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::optional<std::function<void()>> task = queue_.Pop();
+    if (!task) return;
+    (*task)();
+  }
+}
+
+void ParallelFor(size_t n, size_t parallelism,
+                 const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  size_t threads = std::min(std::max<size_t>(1, parallelism), n);
+  if (threads == 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::atomic<size_t> next{0};
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (size_t t = 0; t < threads; ++t) {
+    pool.emplace_back([&] {
+      while (true) {
+        size_t i = next.fetch_add(1);
+        if (i >= n) return;
+        fn(i);
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+}
+
+}  // namespace davix

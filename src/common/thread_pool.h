@@ -1,0 +1,48 @@
+#ifndef DAVIX_COMMON_THREAD_POOL_H_
+#define DAVIX_COMMON_THREAD_POOL_H_
+
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "common/blocking_queue.h"
+
+namespace davix {
+
+/// Fixed-size worker pool executing std::function tasks FIFO.
+///
+/// Used for the server-side request workers and for the client-side
+/// parallel operations (multi-stream downloads, concurrent dispatch).
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (minimum 1).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Returns false if the pool is shutting down.
+  bool Submit(std::function<void()> task);
+
+  /// Stops accepting tasks, runs what is queued, joins all workers.
+  /// Idempotent; also called by the destructor.
+  void Shutdown();
+
+  size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  BlockingQueue<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+};
+
+/// Runs `fn(i)` for i in [0, n) across up to `parallelism` threads and
+/// waits for completion. Exceptions must not escape fn.
+void ParallelFor(size_t n, size_t parallelism,
+                 const std::function<void(size_t)>& fn);
+
+}  // namespace davix
+
+#endif  // DAVIX_COMMON_THREAD_POOL_H_

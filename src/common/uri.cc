@@ -1,0 +1,219 @@
+#include "common/uri.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace davix {
+namespace {
+
+bool IsValidSchemeChar(char c, bool first) {
+  if (std::isalpha(static_cast<unsigned char>(c))) return true;
+  if (first) return false;
+  return std::isdigit(static_cast<unsigned char>(c)) || c == '+' || c == '-' ||
+         c == '.';
+}
+
+uint16_t DefaultPortForScheme(std::string_view scheme) {
+  if (EqualsIgnoreCase(scheme, "http") || EqualsIgnoreCase(scheme, "dav")) {
+    return 80;
+  }
+  if (EqualsIgnoreCase(scheme, "https") || EqualsIgnoreCase(scheme, "davs")) {
+    return 443;
+  }
+  if (EqualsIgnoreCase(scheme, "root") || EqualsIgnoreCase(scheme, "xroot")) {
+    return 1094;
+  }
+  return 0;
+}
+
+int HexDigitValue(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+Result<Uri> Uri::Parse(std::string_view input) {
+  Uri uri;
+  std::string_view rest = TrimWhitespace(input);
+  if (rest.empty()) return Status::InvalidArgument("empty URL");
+
+  size_t scheme_end = rest.find("://");
+  if (scheme_end == std::string_view::npos || scheme_end == 0) {
+    return Status::InvalidArgument("URL missing scheme: " +
+                                   std::string(input));
+  }
+  std::string_view scheme = rest.substr(0, scheme_end);
+  for (size_t i = 0; i < scheme.size(); ++i) {
+    if (!IsValidSchemeChar(scheme[i], i == 0)) {
+      return Status::InvalidArgument("invalid scheme: " + std::string(scheme));
+    }
+  }
+  uri.scheme_ = AsciiLower(scheme);
+  rest.remove_prefix(scheme_end + 3);
+
+  // Fragment first so '?' inside fragments is not misread as a query.
+  size_t frag = rest.find('#');
+  if (frag != std::string_view::npos) {
+    uri.fragment_ = std::string(rest.substr(frag + 1));
+    rest = rest.substr(0, frag);
+  }
+
+  size_t path_start = rest.find('/');
+  std::string_view authority =
+      path_start == std::string_view::npos ? rest : rest.substr(0, path_start);
+  std::string_view path_query = path_start == std::string_view::npos
+                                    ? std::string_view()
+                                    : rest.substr(path_start);
+
+  // A query can appear with an empty path: http://h?x=1
+  size_t auth_query = authority.find('?');
+  if (auth_query != std::string_view::npos) {
+    uri.query_ = std::string(authority.substr(auth_query + 1));
+    authority = authority.substr(0, auth_query);
+  }
+
+  size_t at = authority.rfind('@');
+  if (at != std::string_view::npos) {
+    uri.userinfo_ = std::string(authority.substr(0, at));
+    authority.remove_prefix(at + 1);
+  }
+  if (authority.empty()) {
+    return Status::InvalidArgument("URL missing host: " + std::string(input));
+  }
+
+  size_t colon = authority.rfind(':');
+  if (colon != std::string_view::npos) {
+    std::string_view port_str = authority.substr(colon + 1);
+    std::optional<uint64_t> port = ParseUint64(port_str);
+    if (!port || *port == 0 || *port > 65535) {
+      return Status::InvalidArgument("invalid port: " + std::string(port_str));
+    }
+    uri.port_ = static_cast<uint16_t>(*port);
+    uri.explicit_port_ = true;
+    authority = authority.substr(0, colon);
+  } else {
+    uri.port_ = DefaultPortForScheme(uri.scheme_);
+  }
+  uri.host_ = AsciiLower(authority);
+  if (uri.host_.empty()) {
+    return Status::InvalidArgument("URL missing host: " + std::string(input));
+  }
+
+  if (!path_query.empty()) {
+    size_t q = path_query.find('?');
+    if (q != std::string_view::npos) {
+      uri.query_ = std::string(path_query.substr(q + 1));
+      path_query = path_query.substr(0, q);
+    }
+    uri.path_ = std::string(path_query);
+  }
+  if (uri.path_.empty()) uri.path_ = "/";
+  return uri;
+}
+
+std::string Uri::PathWithQuery() const {
+  if (query_.empty()) return path_;
+  return path_ + "?" + query_;
+}
+
+std::string Uri::ToString() const {
+  std::string out = scheme_ + "://";
+  if (!userinfo_.empty()) {
+    out += userinfo_;
+    out += '@';
+  }
+  out += host_;
+  if (explicit_port_) {
+    out += ':';
+    out += std::to_string(port_);
+  }
+  out += path_;
+  if (!query_.empty()) {
+    out += '?';
+    out += query_;
+  }
+  if (!fragment_.empty()) {
+    out += '#';
+    out += fragment_;
+  }
+  return out;
+}
+
+Uri Uri::WithPath(std::string_view path_and_query) const {
+  Uri out = *this;
+  out.fragment_.clear();
+  std::string_view pq = path_and_query;
+  size_t q = pq.find('?');
+  if (q != std::string_view::npos) {
+    out.query_ = std::string(pq.substr(q + 1));
+    pq = pq.substr(0, q);
+  } else {
+    out.query_.clear();
+  }
+  out.path_ = pq.empty() ? "/" : std::string(pq);
+  if (out.path_[0] != '/') out.path_.insert(out.path_.begin(), '/');
+  return out;
+}
+
+std::string Uri::HostPortKey() const {
+  return host_ + ":" + std::to_string(port_);
+}
+
+Result<Uri> Uri::Resolve(std::string_view location) const {
+  std::string_view loc = TrimWhitespace(location);
+  if (loc.empty()) return Status::InvalidArgument("empty redirect location");
+  if (loc.find("://") != std::string_view::npos) return Uri::Parse(loc);
+  if (loc[0] == '/') return WithPath(loc);
+  // Relative reference: resolve against the parent directory of this path.
+  std::string base = path_;
+  size_t slash = base.rfind('/');
+  base = base.substr(0, slash + 1);
+  return WithPath(base + std::string(loc));
+}
+
+std::string UrlEncodePath(std::string_view path) {
+  static constexpr char kHex[] = "0123456789ABCDEF";
+  std::string out;
+  out.reserve(path.size());
+  for (unsigned char c : path) {
+    bool unreserved = std::isalnum(c) || c == '-' || c == '.' || c == '_' ||
+                      c == '~' || c == '/';
+    if (unreserved) {
+      out.push_back(static_cast<char>(c));
+    } else {
+      out.push_back('%');
+      out.push_back(kHex[c >> 4]);
+      out.push_back(kHex[c & 0xf]);
+    }
+  }
+  return out;
+}
+
+Result<std::string> UrlDecode(std::string_view encoded) {
+  std::string out;
+  out.reserve(encoded.size());
+  for (size_t i = 0; i < encoded.size(); ++i) {
+    char c = encoded[i];
+    if (c != '%') {
+      out.push_back(c == '+' ? ' ' : c);
+      continue;
+    }
+    if (i + 2 >= encoded.size()) {
+      return Status::InvalidArgument("truncated percent escape");
+    }
+    int hi = HexDigitValue(encoded[i + 1]);
+    int lo = HexDigitValue(encoded[i + 2]);
+    if (hi < 0 || lo < 0) {
+      return Status::InvalidArgument("invalid percent escape");
+    }
+    out.push_back(static_cast<char>((hi << 4) | lo));
+    i += 2;
+  }
+  return out;
+}
+
+}  // namespace davix

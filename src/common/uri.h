@@ -1,0 +1,79 @@
+#ifndef DAVIX_COMMON_URI_H_
+#define DAVIX_COMMON_URI_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace davix {
+
+/// Parsed form of an http:// or dav:// style URL.
+///
+/// Only the subset of RFC 3986 that data-access URLs use is supported:
+/// scheme://host[:port]/path[?query][#fragment]. Userinfo is accepted and
+/// preserved but not interpreted.
+class Uri {
+ public:
+  Uri() = default;
+
+  /// Parses `input`. Fails with kInvalidArgument on malformed URLs.
+  static Result<Uri> Parse(std::string_view input);
+
+  const std::string& scheme() const { return scheme_; }
+  const std::string& userinfo() const { return userinfo_; }
+  const std::string& host() const { return host_; }
+  /// Port from the URL, or the scheme default (http 80, https 443,
+  /// root 1094) when absent.
+  uint16_t port() const { return port_; }
+  /// True if the URL spelled an explicit port.
+  bool has_explicit_port() const { return explicit_port_; }
+  /// Path component, always beginning with '/' (empty paths normalise
+  /// to "/").
+  const std::string& path() const { return path_; }
+  const std::string& query() const { return query_; }
+  const std::string& fragment() const { return fragment_; }
+
+  /// Path plus "?query" when a query is present: what goes on an HTTP
+  /// request line.
+  std::string PathWithQuery() const;
+
+  /// Reassembles the full URL string.
+  std::string ToString() const;
+
+  /// Returns a copy with the path (and optional query) replaced; used to
+  /// follow relative redirects and to build replica URLs.
+  Uri WithPath(std::string_view path_and_query) const;
+
+  /// "host:port" key used to identify a connection pool bucket.
+  std::string HostPortKey() const;
+
+  /// Resolves `location` (absolute URL or absolute path) against this URI,
+  /// as needed for HTTP Location headers.
+  Result<Uri> Resolve(std::string_view location) const;
+
+  friend bool operator==(const Uri& a, const Uri& b) {
+    return a.ToString() == b.ToString();
+  }
+
+ private:
+  std::string scheme_;
+  std::string userinfo_;
+  std::string host_;
+  uint16_t port_ = 0;
+  bool explicit_port_ = false;
+  std::string path_ = "/";
+  std::string query_;
+  std::string fragment_;
+};
+
+/// Percent-encodes characters outside the RFC 3986 unreserved set plus '/'.
+std::string UrlEncodePath(std::string_view path);
+
+/// Decodes %XX escapes; fails on truncated or non-hex escapes.
+Result<std::string> UrlDecode(std::string_view encoded);
+
+}  // namespace davix
+
+#endif  // DAVIX_COMMON_URI_H_

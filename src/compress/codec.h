@@ -1,0 +1,50 @@
+#ifndef DAVIX_COMPRESS_CODEC_H_
+#define DAVIX_COMPRESS_CODEC_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace davix {
+namespace compress {
+
+/// Block codecs available for basket compression in the ROOT-like event
+/// store. Stand-ins for ROOT's zlib/LZ4 settings: what matters to the I/O
+/// path under study is that baskets are individually compressed,
+/// checksummed blocks that must be fetched whole.
+enum class CodecType : uint8_t {
+  /// Stored verbatim.
+  kNone = 0,
+  /// Run-length encoding; effective on the long constant runs synthetic
+  /// event payloads contain.
+  kRle = 1,
+  /// "DLZ", a from-scratch LZ77 variant: 64 KiB window, greedy hash-chain
+  /// match finder, byte-oriented token stream.
+  kDlz = 2,
+};
+
+std::string_view CodecName(CodecType type);
+Result<CodecType> ParseCodecName(std::string_view name);
+
+/// Compresses `data` into a self-describing frame:
+///   magic "DVC1" | codec byte | u32 original size | u32 crc32(original) |
+///   payload
+/// The frame always round-trips through Decompress, whatever the codec.
+std::string Compress(CodecType type, std::string_view data);
+
+/// Decompresses a frame produced by Compress. Verifies magic, size and
+/// CRC; any mismatch yields kCorruption.
+Result<std::string> Decompress(std::string_view frame);
+
+/// Size of the frame header in bytes.
+constexpr size_t kFrameHeaderSize = 4 + 1 + 4 + 4;
+
+/// Reads the original (uncompressed) size from a frame without decoding.
+Result<uint64_t> FrameOriginalSize(std::string_view frame);
+
+}  // namespace compress
+}  // namespace davix
+
+#endif  // DAVIX_COMPRESS_CODEC_H_

@@ -1,0 +1,48 @@
+#include "core/context.h"
+
+namespace davix {
+namespace core {
+
+Context::Context(SessionPoolConfig pool_config)
+    : pool_(std::make_unique<SessionPool>(pool_config)) {}
+
+IoCounters Context::SnapshotCounters() const {
+  IoCounters out;
+  out.requests = stats_.requests.load(std::memory_order_relaxed);
+  out.network_round_trips =
+      stats_.network_round_trips.load(std::memory_order_relaxed);
+  out.bytes_read = stats_.bytes_read.load(std::memory_order_relaxed);
+  out.bytes_written = stats_.bytes_written.load(std::memory_order_relaxed);
+  out.redirects_followed =
+      stats_.redirects_followed.load(std::memory_order_relaxed);
+  out.retries = stats_.retries.load(std::memory_order_relaxed);
+  out.replica_failovers =
+      stats_.replica_failovers.load(std::memory_order_relaxed);
+  out.vector_queries = stats_.vector_queries.load(std::memory_order_relaxed);
+  out.ranges_requested =
+      stats_.ranges_requested.load(std::memory_order_relaxed);
+  out.connections_opened =
+      pool_->stats().connects.load(std::memory_order_relaxed);
+  out.connections_reused =
+      pool_->stats().recycled.load(std::memory_order_relaxed);
+  return out;
+}
+
+void Context::ResetCounters() {
+  stats_.requests.store(0, std::memory_order_relaxed);
+  stats_.network_round_trips.store(0, std::memory_order_relaxed);
+  stats_.bytes_read.store(0, std::memory_order_relaxed);
+  stats_.bytes_written.store(0, std::memory_order_relaxed);
+  stats_.redirects_followed.store(0, std::memory_order_relaxed);
+  stats_.retries.store(0, std::memory_order_relaxed);
+  stats_.replica_failovers.store(0, std::memory_order_relaxed);
+  stats_.vector_queries.store(0, std::memory_order_relaxed);
+  stats_.ranges_requested.store(0, std::memory_order_relaxed);
+  pool_->stats().connects.store(0, std::memory_order_relaxed);
+  pool_->stats().recycled.store(0, std::memory_order_relaxed);
+  pool_->stats().discarded.store(0, std::memory_order_relaxed);
+  pool_->stats().expired.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace core
+}  // namespace davix

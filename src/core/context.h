@@ -1,0 +1,57 @@
+#ifndef DAVIX_CORE_CONTEXT_H_
+#define DAVIX_CORE_CONTEXT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "common/stats.h"
+#include "core/session_pool.h"
+
+namespace davix {
+namespace core {
+
+/// Atomic mirror of IoCounters, updated concurrently by every request
+/// issued through a Context.
+struct ContextStats {
+  std::atomic<uint64_t> requests{0};
+  std::atomic<uint64_t> network_round_trips{0};
+  std::atomic<uint64_t> bytes_read{0};
+  std::atomic<uint64_t> bytes_written{0};
+  std::atomic<uint64_t> redirects_followed{0};
+  std::atomic<uint64_t> retries{0};
+  std::atomic<uint64_t> replica_failovers{0};
+  std::atomic<uint64_t> vector_queries{0};
+  std::atomic<uint64_t> ranges_requested{0};
+};
+
+/// Root object of the library, like davix::Context: owns the session
+/// pool (§2.2) and the I/O accounting. One Context is meant to be shared
+/// by all threads of an application; everything on it is thread-safe.
+class Context {
+ public:
+  explicit Context(SessionPoolConfig pool_config = {});
+
+  Context(const Context&) = delete;
+  Context& operator=(const Context&) = delete;
+
+  SessionPool& pool() { return *pool_; }
+  ContextStats& stats() { return stats_; }
+
+  /// Consistent snapshot of the counters (plus pool connection counts)
+  /// as a plain IoCounters value for reporting.
+  IoCounters SnapshotCounters() const;
+
+  /// Zeroes all counters (pool stats included); benchmarks call this
+  /// between phases.
+  void ResetCounters();
+
+ private:
+  std::unique_ptr<SessionPool> pool_;
+  ContextStats stats_;
+};
+
+}  // namespace core
+}  // namespace davix
+
+#endif  // DAVIX_CORE_CONTEXT_H_

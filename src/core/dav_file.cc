@@ -1,0 +1,317 @@
+#include "core/dav_file.h"
+
+#include <algorithm>
+
+#include "common/base64.h"
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "core/metalink_engine.h"
+#include "core/vector_io.h"
+#include "http/multipart.h"
+#include "http/parser.h"
+
+namespace davix {
+namespace core {
+namespace {
+
+/// Failures that justify looking for another replica (§2.4): anything
+/// suggesting *this* endpoint is unavailable, including 404 (in a
+/// federated namespace the resource may simply live elsewhere).
+bool ShouldFailover(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kConnectionFailed:
+    case StatusCode::kConnectionReset:
+    case StatusCode::kTimeout:
+    case StatusCode::kRemoteError:
+    case StatusCode::kNotFound:
+    case StatusCode::kProtocolError:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+DavFile::DavFile(Context* context, Uri url)
+    : context_(context), client_(context), url_(std::move(url)) {}
+
+Result<DavFile> DavFile::Make(Context* context, const std::string& url) {
+  DAVIX_ASSIGN_OR_RETURN(Uri parsed, Uri::Parse(url));
+  return DavFile(context, std::move(parsed));
+}
+
+template <typename T>
+Result<T> DavFile::WithFailover(
+    const RequestParams& params,
+    const std::function<Result<T>(const Uri&)>& op) {
+  Result<T> primary = op(url_);
+  if (primary.ok() || params.metalink_mode == MetalinkMode::kDisabled ||
+      !ShouldFailover(primary.status())) {
+    return primary;
+  }
+
+  // The primary is unavailable: look up the resource's replicas and walk
+  // them in priority order.
+  MetalinkEngine engine(&client_);
+  Result<std::vector<Uri>> replicas = engine.ResolveReplicas(url_, params);
+  if (!replicas.ok()) {
+    DAVIX_LOG(kDebug) << "no metalink for " << url_.ToString() << ": "
+                      << replicas.status().ToString();
+    return primary;  // keep the original, more informative error
+  }
+  Status last = primary.status();
+  for (const Uri& replica : *replicas) {
+    if (replica == url_) continue;  // already failed
+    context_->stats().replica_failovers.fetch_add(1,
+                                                  std::memory_order_relaxed);
+    DAVIX_LOG(kDebug) << "failing over to replica " << replica.ToString();
+    Result<T> attempt = op(replica);
+    if (attempt.ok()) return attempt;
+    last = attempt.status();
+  }
+  return Status::AllReplicasFailed("all replicas of " + url_.ToString() +
+                                   " failed; last error: " + last.ToString());
+}
+
+Result<std::string> DavFile::Get(const RequestParams& params) {
+  if (params.metalink_mode == MetalinkMode::kMultiStream) {
+    MetalinkEngine engine(&client_);
+    Result<std::string> multi = engine.MultiStreamGet(url_, params);
+    if (multi.ok()) return multi;
+    DAVIX_LOG(kDebug) << "multi-stream failed (" << multi.status().ToString()
+                      << "), falling back to plain GET";
+  }
+  return WithFailover<std::string>(
+      params, [&](const Uri& replica) -> Result<std::string> {
+        DAVIX_ASSIGN_OR_RETURN(
+            HttpClient::Exchange exchange,
+            client_.Execute(replica, http::Method::kGet, params));
+        DAVIX_RETURN_IF_ERROR(HttpStatusToStatus(
+            exchange.response.status_code, "GET " + replica.ToString()));
+        return std::move(exchange.response.body);
+      });
+}
+
+Status DavFile::Put(std::string data, const RequestParams& params) {
+  DAVIX_ASSIGN_OR_RETURN(
+      HttpClient::Exchange exchange,
+      client_.Execute(url_, http::Method::kPut, params, std::move(data)));
+  return HttpStatusToStatus(exchange.response.status_code,
+                            "PUT " + url_.ToString());
+}
+
+Status DavFile::Delete(const RequestParams& params) {
+  DAVIX_ASSIGN_OR_RETURN(
+      HttpClient::Exchange exchange,
+      client_.Execute(url_, http::Method::kDelete, params));
+  return HttpStatusToStatus(exchange.response.status_code,
+                            "DELETE " + url_.ToString());
+}
+
+Result<FileInfo> DavFile::Stat(const RequestParams& params) {
+  return WithFailover<FileInfo>(
+      params, [&](const Uri& replica) -> Result<FileInfo> {
+        DAVIX_ASSIGN_OR_RETURN(
+            HttpClient::Exchange exchange,
+            client_.Execute(replica, http::Method::kHead, params));
+        DAVIX_RETURN_IF_ERROR(HttpStatusToStatus(
+            exchange.response.status_code, "HEAD " + replica.ToString()));
+        FileInfo info;
+        info.size =
+            exchange.response.headers.GetUint64("Content-Length").value_or(0);
+        info.etag = exchange.response.headers.Get("ETag").value_or("");
+        if (std::optional<std::string> lm =
+                exchange.response.headers.Get("Last-Modified")) {
+          Result<int64_t> mtime = http::ParseHttpDate(*lm);
+          if (mtime.ok()) info.mtime_epoch_seconds = *mtime;
+        }
+        return info;
+      });
+}
+
+Result<std::string> DavFile::GetChecksum(const RequestParams& params) {
+  return WithFailover<std::string>(
+      params, [&](const Uri& replica) -> Result<std::string> {
+        http::HeaderMap headers;
+        headers.Set("Want-Digest", "md5");
+        DAVIX_ASSIGN_OR_RETURN(
+            HttpClient::Exchange exchange,
+            client_.Execute(replica, http::Method::kHead, params,
+                            std::string(), &headers));
+        DAVIX_RETURN_IF_ERROR(HttpStatusToStatus(
+            exchange.response.status_code, "HEAD " + replica.ToString()));
+        std::optional<std::string> digest =
+            exchange.response.headers.Get("Digest");
+        if (!digest) {
+          return Status::NotSupported("server sent no Digest header for " +
+                                      replica.ToString());
+        }
+        // Digest: md5=<base64>
+        std::string_view value = TrimWhitespace(*digest);
+        if (!StartsWith(value, "md5=")) {
+          return Status::ProtocolError("unexpected Digest algorithm: " +
+                                       *digest);
+        }
+        DAVIX_ASSIGN_OR_RETURN(std::string raw,
+                               Base64Decode(value.substr(4)));
+        return HexEncode(raw);
+      });
+}
+
+Status DavFile::Copy(const std::string& destination_path,
+                     const RequestParams& params) {
+  http::HeaderMap headers;
+  headers.Set("Destination", destination_path);
+  DAVIX_ASSIGN_OR_RETURN(
+      HttpClient::Exchange exchange,
+      client_.Execute(url_, http::Method::kCopy, params, std::string(),
+                      &headers));
+  return HttpStatusToStatus(exchange.response.status_code,
+                            "COPY " + url_.ToString());
+}
+
+Result<std::string> DavFile::ReadPartial(uint64_t offset, uint64_t length,
+                                         const RequestParams& params) {
+  if (length == 0) return std::string();
+  std::vector<http::ByteRange> ranges = {http::ByteRange{offset, length}};
+  DAVIX_ASSIGN_OR_RETURN(std::vector<std::string> results,
+                         ReadPartialVec(ranges, params));
+  return std::move(results[0]);
+}
+
+Result<std::vector<std::string>> DavFile::ReadPartialVec(
+    const std::vector<http::ByteRange>& ranges, const RequestParams& params) {
+  return WithFailover<std::vector<std::string>>(
+      params,
+      [&](const Uri& replica) -> Result<std::vector<std::string>> {
+        return ReadPartialVecAt(replica, ranges, params);
+      });
+}
+
+Result<std::vector<std::string>> DavFile::ReadPartialVecAt(
+    const Uri& replica, const std::vector<http::ByteRange>& ranges,
+    const RequestParams& params) {
+  std::vector<std::string> results(ranges.size());
+  std::vector<CoalescedRange> coalesced =
+      CoalesceRanges(ranges, params.vector_gap_bytes);
+  if (coalesced.empty()) return results;  // all ranges empty
+  std::vector<std::vector<CoalescedRange>> batches =
+      SplitBatches(std::move(coalesced), params.max_ranges_per_request);
+
+  // If any batch comes back as the full entity (a server without
+  // multi-range support), remember it and satisfy everything locally.
+  std::string full_body;
+  bool have_full_body = false;
+
+  for (const std::vector<CoalescedRange>& batch : batches) {
+    if (have_full_body) {
+      for (const CoalescedRange& wire : batch) {
+        if (wire.range.offset + wire.range.length > full_body.size()) {
+          return Status::ProtocolError("entity shorter than wire range");
+        }
+        DAVIX_RETURN_IF_ERROR(ScatterWireRange(
+            wire,
+            std::string_view(full_body)
+                .substr(wire.range.offset, wire.range.length),
+            ranges, &results));
+      }
+      continue;
+    }
+
+    std::vector<http::ByteRange> wire_ranges;
+    wire_ranges.reserve(batch.size());
+    for (const CoalescedRange& wire : batch) wire_ranges.push_back(wire.range);
+
+    http::HeaderMap headers;
+    headers.Set("Range", http::FormatRangeHeader(wire_ranges));
+    context_->stats().vector_queries.fetch_add(1, std::memory_order_relaxed);
+    context_->stats().ranges_requested.fetch_add(wire_ranges.size(),
+                                                 std::memory_order_relaxed);
+
+    DAVIX_ASSIGN_OR_RETURN(
+        HttpClient::Exchange exchange,
+        client_.Execute(replica, http::Method::kGet, params, std::string(),
+                        &headers));
+    const http::HttpResponse& response = exchange.response;
+
+    if (response.status_code == 200) {
+      // Server ignored the Range header: it sent the whole entity.
+      full_body = response.body;
+      have_full_body = true;
+      for (const CoalescedRange& wire : batch) {
+        if (wire.range.offset + wire.range.length > full_body.size()) {
+          return Status::ProtocolError("entity shorter than wire range");
+        }
+        DAVIX_RETURN_IF_ERROR(ScatterWireRange(
+            wire,
+            std::string_view(full_body)
+                .substr(wire.range.offset, wire.range.length),
+            ranges, &results));
+      }
+      continue;
+    }
+    if (response.status_code != 206) {
+      return HttpStatusToStatus(response.status_code,
+                                "vectored GET " + replica.ToString());
+    }
+
+    std::string content_type =
+        response.headers.Get("Content-Type").value_or("");
+    if (content_type.find("multipart/byteranges") != std::string::npos) {
+      DAVIX_ASSIGN_OR_RETURN(std::string boundary,
+                             http::ExtractBoundary(content_type));
+      DAVIX_ASSIGN_OR_RETURN(
+          std::vector<http::BytesPart> parts,
+          http::ParseMultipartBody(response.body, boundary));
+      // Match parts to wire ranges exactly.
+      for (const CoalescedRange& wire : batch) {
+        const http::BytesPart* match = nullptr;
+        for (const http::BytesPart& part : parts) {
+          if (part.range == wire.range) {
+            match = &part;
+            break;
+          }
+        }
+        if (match == nullptr) {
+          return Status::ProtocolError(
+              "multipart response missing range " +
+              http::FormatRangeHeader({wire.range}));
+        }
+        DAVIX_RETURN_IF_ERROR(
+            ScatterWireRange(wire, match->data, ranges, &results));
+      }
+      continue;
+    }
+
+    // 206 with a single Content-Range: either we asked for one range, or
+    // the server merged our ranges into one span.
+    std::optional<std::string> content_range =
+        response.headers.Get("Content-Range");
+    if (!content_range) {
+      return Status::ProtocolError("206 without Content-Range");
+    }
+    DAVIX_ASSIGN_OR_RETURN(http::ContentRange cr,
+                           http::ParseContentRange(*content_range));
+    if (response.body.size() != cr.range.length) {
+      return Status::ProtocolError("206 body size != Content-Range length");
+    }
+    for (const CoalescedRange& wire : batch) {
+      if (wire.range.offset < cr.range.offset ||
+          wire.range.offset + wire.range.length >
+              cr.range.offset + cr.range.length) {
+        return Status::ProtocolError(
+            "206 span does not cover requested range");
+      }
+      DAVIX_RETURN_IF_ERROR(ScatterWireRange(
+          wire,
+          std::string_view(response.body)
+              .substr(wire.range.offset - cr.range.offset, wire.range.length),
+          ranges, &results));
+    }
+  }
+  return results;
+}
+
+}  // namespace core
+}  // namespace davix

@@ -1,0 +1,100 @@
+#ifndef DAVIX_CORE_DAV_FILE_H_
+#define DAVIX_CORE_DAV_FILE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/uri.h"
+#include "core/http_client.h"
+#include "core/request_params.h"
+#include "http/range.h"
+
+namespace davix {
+namespace core {
+
+/// Remote file metadata as observable over HTTP/WebDAV.
+struct FileInfo {
+  uint64_t size = 0;
+  int64_t mtime_epoch_seconds = 0;
+  std::string etag;
+  bool is_collection = false;
+};
+
+/// Object-level remote file API, mirroring davix's DavFile.
+///
+/// Every read entry point is resilience-wrapped per
+/// RequestParams::metalink_mode: with kFailover (the default), a failed
+/// operation transparently retries on each replica listed in the
+/// resource's Metalink until one succeeds — the §2.4 guarantee that "a
+/// read operation on a resource will succeed as long as one replica ...
+/// is remotely accessible and referenced by the corresponding Metalink."
+class DavFile {
+ public:
+  /// `context` must outlive this object.
+  DavFile(Context* context, Uri url);
+
+  /// Parses `url`; fails on malformed URLs.
+  static Result<DavFile> Make(Context* context, const std::string& url);
+
+  const Uri& url() const { return url_; }
+
+  /// Whole-object GET. In kMultiStream mode the object is fetched in
+  /// parallel chunks from several replicas.
+  Result<std::string> Get(const RequestParams& params = {});
+
+  /// Atomic object creation / replacement (HTTP PUT, §2.1).
+  Status Put(std::string data, const RequestParams& params = {});
+
+  /// Object removal (HTTP DELETE).
+  Status Delete(const RequestParams& params = {});
+
+  /// Metadata via HEAD.
+  Result<FileInfo> Stat(const RequestParams& params = {});
+
+  /// Remote md5 of the object (RFC 3230 Want-Digest, davix-checksum
+  /// style). Returns the lower-case hex digest.
+  Result<std::string> GetChecksum(const RequestParams& params = {});
+
+  /// Server-side copy to `destination_path` on the same host (WebDAV
+  /// COPY), used for intra-storage replication.
+  Status Copy(const std::string& destination_path,
+              const RequestParams& params = {});
+
+  /// Reads `length` bytes at `offset` with a single-range GET.
+  Result<std::string> ReadPartial(uint64_t offset, uint64_t length,
+                                  const RequestParams& params = {});
+
+  /// §2.3 vectored read: the scattered `ranges` are coalesced, packed
+  /// into HTTP multi-range queries, executed as few wire round trips,
+  /// and scattered back; results[i] holds the bytes of ranges[i].
+  ///
+  /// Falls back transparently when the server answers a multi-range GET
+  /// with the full entity (200) or lacks multi-range support.
+  Result<std::vector<std::string>> ReadPartialVec(
+      const std::vector<http::ByteRange>& ranges,
+      const RequestParams& params = {});
+
+ private:
+  /// Runs `op` against the primary URL, then against metalink replicas
+  /// on failure (when enabled). Counts failovers in the context stats.
+  template <typename T>
+  Result<T> WithFailover(
+      const RequestParams& params,
+      const std::function<Result<T>(const Uri&)>& op);
+
+  Result<std::vector<std::string>> ReadPartialVecAt(
+      const Uri& replica, const std::vector<http::ByteRange>& ranges,
+      const RequestParams& params);
+
+  Context* context_;
+  HttpClient client_;
+  Uri url_;
+};
+
+}  // namespace core
+}  // namespace davix
+
+#endif  // DAVIX_CORE_DAV_FILE_H_

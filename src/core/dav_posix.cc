@@ -1,0 +1,197 @@
+#include "core/dav_posix.h"
+
+#include <algorithm>
+
+#include "core/http_client.h"
+#include "xml/xml.h"
+
+namespace davix {
+namespace core {
+
+Result<int> DavPosix::Open(const std::string& url,
+                           const RequestParams& params) {
+  DAVIX_ASSIGN_OR_RETURN(DavFile file, DavFile::Make(context_, url));
+  DAVIX_ASSIGN_OR_RETURN(FileInfo info, file.Stat(params));
+  auto open_file = std::make_shared<OpenFile>();
+  open_file->file = std::make_unique<DavFile>(std::move(file));
+  open_file->params = params;
+  open_file->size = info.size;
+  std::lock_guard<std::mutex> lock(mu_);
+  int fd = next_fd_++;
+  open_files_[fd] = std::move(open_file);
+  return fd;
+}
+
+Result<std::shared_ptr<DavPosix::OpenFile>> DavPosix::Lookup(int fd) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = open_files_.find(fd);
+  if (it == open_files_.end()) {
+    return Status::InvalidArgument("bad file descriptor " +
+                                   std::to_string(fd));
+  }
+  return it->second;
+}
+
+Result<std::string> DavPosix::Read(int fd, size_t count) {
+  DAVIX_ASSIGN_OR_RETURN(std::shared_ptr<OpenFile> file, Lookup(fd));
+  std::lock_guard<std::mutex> lock(file->mu);
+  if (file->cursor >= file->size || count == 0) return std::string();
+  uint64_t want = std::min<uint64_t>(count, file->size - file->cursor);
+
+  if (file->params.readahead_bytes == 0) {
+    DAVIX_ASSIGN_OR_RETURN(
+        std::string data,
+        file->file->ReadPartial(file->cursor, want, file->params));
+    file->cursor += data.size();
+    return data;
+  }
+
+  // Read-ahead path: serve from the buffered window, refilling it with
+  // one large read when the cursor leaves it.
+  uint64_t buf_end = file->buffer_offset + file->buffer.size();
+  if (file->cursor < file->buffer_offset || file->cursor + want > buf_end) {
+    uint64_t fetch = std::max<uint64_t>(want, file->params.readahead_bytes);
+    fetch = std::min(fetch, file->size - file->cursor);
+    DAVIX_ASSIGN_OR_RETURN(
+        std::string data,
+        file->file->ReadPartial(file->cursor, fetch, file->params));
+    file->buffer_offset = file->cursor;
+    file->buffer = std::move(data);
+  }
+  std::string out = file->buffer.substr(
+      file->cursor - file->buffer_offset, want);
+  file->cursor += out.size();
+  return out;
+}
+
+Result<std::string> DavPosix::PRead(int fd, uint64_t offset, size_t count) {
+  DAVIX_ASSIGN_OR_RETURN(std::shared_ptr<OpenFile> file, Lookup(fd));
+  if (count == 0) return std::string();
+  uint64_t size = file->size;
+  if (offset >= size) return std::string();
+  uint64_t want = std::min<uint64_t>(count, size - offset);
+  return file->file->ReadPartial(offset, want, file->params);
+}
+
+Result<std::vector<std::string>> DavPosix::PReadVec(
+    int fd, const std::vector<http::ByteRange>& ranges) {
+  DAVIX_ASSIGN_OR_RETURN(std::shared_ptr<OpenFile> file, Lookup(fd));
+  // Clamp ranges to EOF like preadv does.
+  std::vector<http::ByteRange> clamped = ranges;
+  for (http::ByteRange& r : clamped) {
+    if (r.offset >= file->size) {
+      r.length = 0;
+    } else {
+      r.length = std::min<uint64_t>(r.length, file->size - r.offset);
+    }
+  }
+  return file->file->ReadPartialVec(clamped, file->params);
+}
+
+Result<uint64_t> DavPosix::LSeek(int fd, int64_t offset, int whence) {
+  DAVIX_ASSIGN_OR_RETURN(std::shared_ptr<OpenFile> file, Lookup(fd));
+  std::lock_guard<std::mutex> lock(file->mu);
+  int64_t base;
+  switch (whence) {
+    case 0:  // SEEK_SET
+      base = 0;
+      break;
+    case 1:  // SEEK_CUR
+      base = static_cast<int64_t>(file->cursor);
+      break;
+    case 2:  // SEEK_END
+      base = static_cast<int64_t>(file->size);
+      break;
+    default:
+      return Status::InvalidArgument("bad whence " + std::to_string(whence));
+  }
+  int64_t target = base + offset;
+  if (target < 0) {
+    return Status::InvalidArgument("seek before start of file");
+  }
+  file->cursor = static_cast<uint64_t>(target);
+  return file->cursor;
+}
+
+Status DavPosix::Close(int fd) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (open_files_.erase(fd) == 0) {
+    return Status::InvalidArgument("bad file descriptor " +
+                                   std::to_string(fd));
+  }
+  return Status::OK();
+}
+
+Result<FileInfo> DavPosix::Stat(const std::string& url,
+                                const RequestParams& params) {
+  DAVIX_ASSIGN_OR_RETURN(DavFile file, DavFile::Make(context_, url));
+  return file.Stat(params);
+}
+
+Status DavPosix::Unlink(const std::string& url, const RequestParams& params) {
+  DAVIX_ASSIGN_OR_RETURN(DavFile file, DavFile::Make(context_, url));
+  return file.Delete(params);
+}
+
+Status DavPosix::MkDir(const std::string& url, const RequestParams& params) {
+  DAVIX_ASSIGN_OR_RETURN(Uri uri, Uri::Parse(url));
+  HttpClient client(context_);
+  DAVIX_ASSIGN_OR_RETURN(
+      HttpClient::Exchange exchange,
+      client.Execute(uri, http::Method::kMkcol, params));
+  return HttpStatusToStatus(exchange.response.status_code, "MKCOL " + url);
+}
+
+Status DavPosix::Rename(const std::string& url,
+                        const std::string& destination_path,
+                        const RequestParams& params) {
+  DAVIX_ASSIGN_OR_RETURN(Uri uri, Uri::Parse(url));
+  HttpClient client(context_);
+  http::HeaderMap headers;
+  headers.Set("Destination", destination_path);
+  DAVIX_ASSIGN_OR_RETURN(
+      HttpClient::Exchange exchange,
+      client.Execute(uri, http::Method::kMove, params, std::string(),
+                     &headers));
+  return HttpStatusToStatus(exchange.response.status_code, "MOVE " + url);
+}
+
+Result<std::vector<std::string>> DavPosix::ListDir(
+    const std::string& url, const RequestParams& params) {
+  DAVIX_ASSIGN_OR_RETURN(Uri uri, Uri::Parse(url));
+  HttpClient client(context_);
+  http::HeaderMap headers;
+  headers.Set("Depth", "1");
+  DAVIX_ASSIGN_OR_RETURN(
+      HttpClient::Exchange exchange,
+      client.Execute(uri, http::Method::kPropfind, params, std::string(),
+                     &headers));
+  DAVIX_RETURN_IF_ERROR(HttpStatusToStatus(exchange.response.status_code,
+                                           "PROPFIND " + url));
+  DAVIX_ASSIGN_OR_RETURN(auto root, xml::ParseXml(exchange.response.body));
+
+  // The first <response> is the collection itself; children follow.
+  std::vector<std::string> names;
+  std::vector<const xml::XmlNode*> responses = root->Children("response");
+  std::string base_path = uri.path();
+  if (base_path.size() > 1 && base_path.back() == '/') base_path.pop_back();
+  for (const xml::XmlNode* response : responses) {
+    std::string href = response->ChildText("href");
+    Result<std::string> decoded = UrlDecode(href);
+    std::string path = decoded.ok() ? *decoded : href;
+    while (path.size() > 1 && path.back() == '/') path.pop_back();
+    if (path == base_path || path.empty()) continue;
+    size_t slash = path.rfind('/');
+    names.push_back(slash == std::string::npos ? path
+                                               : path.substr(slash + 1));
+  }
+  return names;
+}
+
+size_t DavPosix::OpenCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return open_files_.size();
+}
+
+}  // namespace core
+}  // namespace davix

@@ -1,0 +1,94 @@
+#ifndef DAVIX_CORE_DAV_POSIX_H_
+#define DAVIX_CORE_DAV_POSIX_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/dav_file.h"
+
+namespace davix {
+namespace core {
+
+/// POSIX-like remote file access, mirroring davix's DavPosix facade: the
+/// API an I/O framework (like the ROOT plugin, TDavixFile) binds to.
+///
+/// Descriptors are plain ints handed out by Open. All calls are
+/// thread-safe; concurrent PRead calls on the same descriptor proceed in
+/// parallel, each drawing its own pooled connection (§2.2 dispatch).
+class DavPosix {
+ public:
+  /// `context` must outlive this object.
+  explicit DavPosix(Context* context) : context_(context) {}
+
+  DavPosix(const DavPosix&) = delete;
+  DavPosix& operator=(const DavPosix&) = delete;
+
+  /// Opens `url` for reading; verifies existence with a Stat.
+  Result<int> Open(const std::string& url, const RequestParams& params = {});
+
+  /// Sequential read of up to `count` bytes at the descriptor's cursor.
+  /// Returns fewer bytes only at EOF (empty string = EOF). When
+  /// RequestParams::readahead_bytes is set, reads are served from a
+  /// sliding read-ahead buffer.
+  Result<std::string> Read(int fd, size_t count);
+
+  /// Positional read, no cursor interaction.
+  Result<std::string> PRead(int fd, uint64_t offset, size_t count);
+
+  /// §2.3 vectored positional read; results[i] are the bytes of
+  /// ranges[i]. This is the call TTreeCache-style clients batch into.
+  Result<std::vector<std::string>> PReadVec(
+      int fd, const std::vector<http::ByteRange>& ranges);
+
+  /// Repositions the cursor. `whence` follows lseek: SEEK_SET/CUR/END
+  /// (0/1/2). Returns the new absolute offset.
+  Result<uint64_t> LSeek(int fd, int64_t offset, int whence);
+
+  Status Close(int fd);
+
+  /// Remote metadata without opening.
+  Result<FileInfo> Stat(const std::string& url,
+                        const RequestParams& params = {});
+
+  /// Namespace operations (WebDAV verbs).
+  Status Unlink(const std::string& url, const RequestParams& params = {});
+  Status MkDir(const std::string& url, const RequestParams& params = {});
+  Status Rename(const std::string& url, const std::string& destination_path,
+                const RequestParams& params = {});
+
+  /// Directory listing via PROPFIND Depth: 1; returns child names.
+  Result<std::vector<std::string>> ListDir(const std::string& url,
+                                           const RequestParams& params = {});
+
+  /// Number of descriptors currently open.
+  size_t OpenCount() const;
+
+ private:
+  struct OpenFile {
+    std::unique_ptr<DavFile> file;
+    RequestParams params;
+    uint64_t size = 0;
+    uint64_t cursor = 0;
+    // Read-ahead window (valid when params.readahead_bytes > 0).
+    uint64_t buffer_offset = 0;
+    std::string buffer;
+    std::mutex mu;  // guards cursor + buffer
+  };
+
+  Result<std::shared_ptr<OpenFile>> Lookup(int fd) const;
+
+  Context* context_;
+  mutable std::mutex mu_;
+  std::map<int, std::shared_ptr<OpenFile>> open_files_;
+  int next_fd_ = 3;
+};
+
+}  // namespace core
+}  // namespace davix
+
+#endif  // DAVIX_CORE_DAV_POSIX_H_

@@ -1,0 +1,175 @@
+#include "core/http_client.h"
+
+#include "common/base64.h"
+#include "common/clock.h"
+#include "common/logging.h"
+#include "http/parser.h"
+
+namespace davix {
+namespace core {
+namespace {
+
+bool IsIdempotent(http::Method method) {
+  return method != http::Method::kPost;
+}
+
+}  // namespace
+
+Status HttpStatusToStatus(int code, const std::string& context) {
+  if (http::IsSuccess(code)) return Status::OK();
+  std::string msg = context + ": HTTP " + std::to_string(code) + " " +
+                    std::string(http::ReasonPhrase(code));
+  switch (code) {
+    case 404:
+    case 410:
+      return Status::NotFound(msg);
+    case 401:
+    case 403:
+      return Status::PermissionDenied(msg);
+    case 408:
+      return Status::Timeout(msg);
+    case 416:
+      return Status::RangeNotSatisfiable(msg);
+    case 501:
+    case 505:
+      return Status::NotSupported(msg);
+    default:
+      if (code >= 500) return Status::RemoteError(msg);
+      if (http::IsRedirect(code)) {
+        return Status::ProtocolError(msg + " (redirect without Location)");
+      }
+      return Status::InvalidArgument(msg);
+  }
+}
+
+Result<HttpClient::Exchange> HttpClient::Execute(
+    const Uri& url, http::Method method, const RequestParams& params,
+    std::string body, const http::HeaderMap* extra_headers) {
+  Uri current = url;
+  int redirects = 0;
+  int retries_used = 0;
+
+  while (true) {
+    bool replayable = false;
+    Result<http::HttpResponse> response =
+        ExecuteOnce(current, method, params, body, extra_headers, &replayable);
+
+    if (!response.ok()) {
+      if (replayable) {
+        // A recycled connection died before yielding a single response
+        // byte: the server closed an idle keep-alive connection under us.
+        // Replaying on a fresh connection is always safe and does not
+        // consume the retry budget.
+        DAVIX_LOG(kDebug) << "stale pooled connection to "
+                          << current.HostPortKey() << ", replaying";
+        continue;
+      }
+      if (response.status().IsRetryable() && IsIdempotent(method) &&
+          retries_used < params.max_retries) {
+        ++retries_used;
+        context_->stats().retries.fetch_add(1, std::memory_order_relaxed);
+        SleepForMicros(params.retry_delay_micros);
+        continue;
+      }
+      return response.status().WithContext(
+          std::string(http::MethodName(method)) + " " + current.ToString());
+    }
+
+    if (params.follow_redirects && http::IsRedirect(response->status_code)) {
+      std::optional<std::string> location =
+          response->headers.Get("Location");
+      if (location) {
+        if (++redirects > params.max_redirects) {
+          return Status::RedirectLoop("too many redirects for " +
+                                      url.ToString());
+        }
+        DAVIX_ASSIGN_OR_RETURN(current, current.Resolve(*location));
+        context_->stats().redirects_followed.fetch_add(
+            1, std::memory_order_relaxed);
+        continue;
+      }
+    }
+
+    Exchange exchange;
+    exchange.response = std::move(*response);
+    exchange.final_url = current;
+    return exchange;
+  }
+}
+
+Result<http::HttpResponse> HttpClient::ExecuteOnce(
+    const Uri& url, http::Method method, const RequestParams& params,
+    const std::string& body, const http::HeaderMap* extra_headers,
+    bool* replayable) {
+  *replayable = false;
+  DAVIX_ASSIGN_OR_RETURN(std::unique_ptr<Session> session,
+                         context_->pool().Acquire(url, params));
+  bool recycled = session->recycled();
+
+  http::HttpRequest request;
+  request.method = method;
+  request.target = UrlEncodePath(url.path());
+  if (!url.query().empty()) request.target += "?" + url.query();
+  request.headers.Set("Host", url.HostPortKey());
+  request.headers.Set("User-Agent", params.user_agent);
+  request.headers.Set("Connection",
+                      params.keep_alive ? "keep-alive" : "close");
+  if (!params.username.empty()) {
+    request.headers.Set(
+        "Authorization",
+        "Basic " + Base64Encode(params.username + ":" + params.password));
+  }
+  if (extra_headers != nullptr) {
+    for (const auto& [name, value] : extra_headers->entries()) {
+      request.headers.Set(name, value);
+    }
+  }
+  request.body = body;
+
+  std::string wire = request.Serialize();
+  context_->stats().requests.fetch_add(1, std::memory_order_relaxed);
+  context_->stats().network_round_trips.fetch_add(1,
+                                                  std::memory_order_relaxed);
+  context_->stats().bytes_written.fetch_add(wire.size(),
+                                            std::memory_order_relaxed);
+
+  Status write_status =
+      session->socket().WriteAll(wire, params.operation_timeout_micros);
+  uint64_t consumed_before = session->reader().bytes_consumed();
+  if (!write_status.ok()) {
+    context_->pool().Discard(std::move(session));
+    *replayable = recycled;
+    return write_status.WithContext("writing request");
+  }
+
+  Result<http::HttpResponse> head =
+      http::MessageReader::ReadResponseHead(&session->reader());
+  if (!head.ok()) {
+    bool nothing_read =
+        session->reader().bytes_consumed() == consumed_before;
+    context_->pool().Discard(std::move(session));
+    *replayable = recycled && nothing_read;
+    return head.status().WithContext("reading response head");
+  }
+  http::HttpResponse response = std::move(*head);
+  Status body_status = http::MessageReader::ReadResponseBody(
+      &session->reader(), method == http::Method::kHead, &response);
+  if (!body_status.ok()) {
+    context_->pool().Discard(std::move(session));
+    return body_status.WithContext("reading response body");
+  }
+  context_->stats().bytes_read.fetch_add(
+      session->reader().bytes_consumed() - consumed_before,
+      std::memory_order_relaxed);
+
+  session->IncrementExchanges();
+  if (params.keep_alive && response.KeepsConnectionAlive()) {
+    context_->pool().Release(std::move(session));
+  } else {
+    context_->pool().Discard(std::move(session));
+  }
+  return response;
+}
+
+}  // namespace core
+}  // namespace davix

@@ -1,0 +1,65 @@
+#ifndef DAVIX_CORE_HTTP_CLIENT_H_
+#define DAVIX_CORE_HTTP_CLIENT_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "common/uri.h"
+#include "core/context.h"
+#include "core/request_params.h"
+#include "http/message.h"
+
+namespace davix {
+namespace core {
+
+/// Maps an HTTP status code to a library Status (2xx => OK).
+Status HttpStatusToStatus(int code, const std::string& context);
+
+/// Thread-safe HTTP request executor on top of the session pool.
+///
+/// Responsibilities: build wire requests, recycle or open connections via
+/// SessionPool, follow redirects, replay transparently when a recycled
+/// connection turns out dead, and retry retryable failures of idempotent
+/// methods. This is the "thread-safe query dispatch system" of §2.2 —
+/// many application threads call Execute concurrently, each drawing its
+/// own connection from the shared pool.
+class HttpClient {
+ public:
+  /// Result of a completed exchange: the final response plus the URL it
+  /// actually came from (after redirects).
+  struct Exchange {
+    http::HttpResponse response;
+    Uri final_url;
+  };
+
+  /// `context` must outlive the client.
+  explicit HttpClient(Context* context) : context_(context) {}
+
+  /// Executes `method` on `url`. Any response (including 4xx/5xx) is a
+  /// successful Exchange; only transport-level failures surface as
+  /// errors. `extra_headers` are appended to the generated ones.
+  Result<Exchange> Execute(const Uri& url, http::Method method,
+                           const RequestParams& params,
+                           std::string body = std::string(),
+                           const http::HeaderMap* extra_headers = nullptr);
+
+  Context* context() { return context_; }
+
+ private:
+  /// One request/response on one connection. Sets `*replayable` when the
+  /// failure happened on a recycled connection before any response byte,
+  /// meaning the pooled connection was stale and the request can be
+  /// replayed on a fresh one without observing a double execution.
+  Result<http::HttpResponse> ExecuteOnce(const Uri& url, http::Method method,
+                                         const RequestParams& params,
+                                         const std::string& body,
+                                         const http::HeaderMap* extra_headers,
+                                         bool* replayable);
+
+  Context* context_;
+};
+
+}  // namespace core
+}  // namespace davix
+
+#endif  // DAVIX_CORE_HTTP_CLIENT_H_

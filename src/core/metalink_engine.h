@@ -1,0 +1,49 @@
+#ifndef DAVIX_CORE_METALINK_ENGINE_H_
+#define DAVIX_CORE_METALINK_ENGINE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/uri.h"
+#include "core/http_client.h"
+#include "core/request_params.h"
+#include "metalink/metalink.h"
+
+namespace davix {
+namespace core {
+
+/// Fetches and exploits Metalink replica descriptions (§2.4).
+class MetalinkEngine {
+ public:
+  /// `client` must outlive the engine.
+  explicit MetalinkEngine(HttpClient* client) : client_(client) {}
+
+  /// Obtains the Metalink for `resource`.
+  ///
+  /// With a configured resolver (RequestParams::metalink_resolver, the
+  /// DynaFed-like federation service) the document is requested from
+  /// `<resolver>/<resource-path>`; otherwise the resource's own host is
+  /// asked with `?metalink` plus an Accept header, davix's convention.
+  Result<metalink::MetalinkFile> Fetch(const Uri& resource,
+                                       const RequestParams& params);
+
+  /// Resolves the replica URLs of `resource`, ordered by priority.
+  Result<std::vector<Uri>> ResolveReplicas(const Uri& resource,
+                                           const RequestParams& params);
+
+  /// §2.4 "multi-stream" strategy: downloads the whole resource by
+  /// fetching chunks in parallel from the replicas round-robin. Chunks
+  /// that fail on one replica fail over to the others. When the Metalink
+  /// carries an md5, the assembled content is verified against it.
+  Result<std::string> MultiStreamGet(const Uri& resource,
+                                     const RequestParams& params);
+
+ private:
+  HttpClient* client_;
+};
+
+}  // namespace core
+}  // namespace davix
+
+#endif  // DAVIX_CORE_METALINK_ENGINE_H_

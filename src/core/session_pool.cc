@@ -1,0 +1,106 @@
+#include "core/session_pool.h"
+
+#include "common/clock.h"
+#include "common/logging.h"
+#include "net/socket_address.h"
+
+namespace davix {
+namespace core {
+
+Session::Session(std::string key, net::TcpSocket socket)
+    : key_(std::move(key)),
+      socket_(std::make_unique<net::TcpSocket>(std::move(socket))),
+      reader_(socket_.get()) {
+  TouchLastUsed();
+}
+
+void Session::TouchLastUsed() { last_used_micros_ = MonotonicMicros(); }
+
+SessionPool::SessionPool(SessionPoolConfig config)
+    : config_(config) {}
+
+Result<std::unique_ptr<Session>> SessionPool::Acquire(
+    const Uri& uri, const RequestParams& params) {
+  std::string key = uri.HostPortKey();
+
+  if (params.keep_alive) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = idle_.find(key);
+    if (it != idle_.end()) {
+      std::vector<std::unique_ptr<Session>>& bucket = it->second;
+      int64_t now = MonotonicMicros();
+      // LIFO: most recently parked first, so recycled connections carry
+      // the warmest congestion windows. Age out stale ones on the way.
+      while (!bucket.empty()) {
+        std::unique_ptr<Session> session = std::move(bucket.back());
+        bucket.pop_back();
+        stats_.current_idle.fetch_sub(1, std::memory_order_relaxed);
+        if (now - session->last_used_micros() > config_.max_idle_age_micros) {
+          stats_.expired.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        session->set_recycled(true);
+        stats_.recycled.fetch_add(1, std::memory_order_relaxed);
+        return session;
+      }
+    }
+  }
+
+  // No reusable session: open a fresh connection.
+  DAVIX_ASSIGN_OR_RETURN(net::SocketAddress address,
+                         net::SocketAddress::Resolve(uri.host(), uri.port()));
+  Result<net::TcpSocket> socket =
+      net::TcpSocket::Connect(address, params.connect_timeout_micros);
+  if (!socket.ok()) {
+    return socket.status().WithContext("connecting to " + key);
+  }
+  (void)socket->SetNoDelay(true);
+  stats_.connects.fetch_add(1, std::memory_order_relaxed);
+  auto session = std::make_unique<Session>(key, std::move(*socket));
+  session->reader().set_timeout_micros(params.operation_timeout_micros);
+  return session;
+}
+
+void SessionPool::Release(std::unique_ptr<Session> session) {
+  if (session == nullptr) return;
+  if (!session->socket().IsOpen() || session->reader().HasBuffered()) {
+    // Unread bytes mean we lost framing sync; never recycle such a
+    // connection.
+    Discard(std::move(session));
+    return;
+  }
+  session->TouchLastUsed();
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::unique_ptr<Session>>& bucket = idle_[session->key()];
+  if (bucket.size() >= config_.max_idle_per_host) {
+    stats_.discarded.fetch_add(1, std::memory_order_relaxed);
+    return;  // bucket full: drop (unique_ptr closes the socket)
+  }
+  bucket.push_back(std::move(session));
+  stats_.current_idle.fetch_add(1, std::memory_order_relaxed);
+}
+
+void SessionPool::Discard(std::unique_ptr<Session> session) {
+  if (session == nullptr) return;
+  stats_.discarded.fetch_add(1, std::memory_order_relaxed);
+  // unique_ptr destruction closes the socket.
+}
+
+void SessionPool::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t dropped = 0;
+  for (auto& [key, bucket] : idle_) dropped += bucket.size();
+  idle_.clear();
+  stats_.current_idle.store(0, std::memory_order_relaxed);
+  stats_.discarded.fetch_add(dropped, std::memory_order_relaxed);
+}
+
+size_t SessionPool::IdleCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t total = 0;
+  for (const auto& [key, bucket] : idle_) total += bucket.size();
+  return total;
+}
+
+}  // namespace core
+}  // namespace davix

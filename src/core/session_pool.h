@@ -1,0 +1,122 @@
+#ifndef DAVIX_CORE_SESSION_POOL_H_
+#define DAVIX_CORE_SESSION_POOL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/uri.h"
+#include "core/request_params.h"
+#include "net/buffered_reader.h"
+#include "net/tcp_socket.h"
+
+namespace davix {
+namespace core {
+
+/// One client-side HTTP connection, possibly recycled across requests.
+///
+/// Owns the socket (kept behind a unique_ptr so the BufferedReader's
+/// pointer stays valid when the Session moves between pool and user).
+class Session {
+ public:
+  Session(std::string key, net::TcpSocket socket);
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  net::TcpSocket& socket() { return *socket_; }
+  net::BufferedReader& reader() { return reader_; }
+
+  /// Pool bucket key: "host:port".
+  const std::string& key() const { return key_; }
+
+  /// True when this session came out of the pool rather than from a fresh
+  /// connect — i.e. a §2.2 session-recycling hit.
+  bool recycled() const { return recycled_; }
+  void set_recycled(bool recycled) { recycled_ = recycled; }
+
+  /// Request/response exchanges completed on this connection.
+  uint64_t exchanges() const { return exchanges_; }
+  void IncrementExchanges() { ++exchanges_; }
+
+  int64_t last_used_micros() const { return last_used_micros_; }
+  void TouchLastUsed();
+
+ private:
+  std::string key_;
+  std::unique_ptr<net::TcpSocket> socket_;
+  net::BufferedReader reader_;
+  bool recycled_ = false;
+  uint64_t exchanges_ = 0;
+  int64_t last_used_micros_ = 0;
+};
+
+/// Pool behaviour knobs.
+struct SessionPoolConfig {
+  /// Idle sessions kept per host:port bucket.
+  size_t max_idle_per_host = 32;
+  /// Idle sessions older than this are dropped at acquire time.
+  int64_t max_idle_age_micros = 30'000'000;
+};
+
+/// Aggregate pool counters (all monotonic except current_idle).
+struct SessionPoolStats {
+  std::atomic<uint64_t> connects{0};        ///< fresh TCP connections made
+  std::atomic<uint64_t> recycled{0};        ///< sessions served from pool
+  std::atomic<uint64_t> discarded{0};       ///< broken sessions dropped
+  std::atomic<uint64_t> expired{0};         ///< idle sessions aged out
+  std::atomic<uint64_t> current_idle{0};    ///< sessions parked right now
+};
+
+/// §2.2 of the paper: "a hybrid solution based on a dynamic connection
+/// pool with a thread-safe query dispatch system and a session recycling
+/// mechanism", with "an aggressive usage of the HTTP KeepAlive feature
+/// ... to maximize the re-utilization of the TCP connections and to
+/// minimize the effect of the TCP slow start."
+///
+/// Buckets are keyed by host:port. Acquire pops the most recently used
+/// idle session (LIFO keeps congestion windows warm); Release parks a
+/// healthy keep-alive session back; Discard destroys a broken one. The
+/// pool grows with the level of concurrency — the paper's §2.2 notes this
+/// is the designed trade-off versus SPDY-style multiplexing.
+class SessionPool {
+ public:
+  explicit SessionPool(SessionPoolConfig config = {});
+
+  /// Gets a session to `uri`'s host — recycled if possible, freshly
+  /// connected otherwise.
+  Result<std::unique_ptr<Session>> Acquire(const Uri& uri,
+                                           const RequestParams& params);
+
+  /// Parks a healthy session for reuse. Sessions with unread buffered
+  /// bytes (protocol desync) are destroyed instead.
+  void Release(std::unique_ptr<Session> session);
+
+  /// Destroys a broken session.
+  void Discard(std::unique_ptr<Session> session);
+
+  /// Drops every idle session.
+  void Clear();
+
+  /// Idle sessions currently parked (over all buckets).
+  size_t IdleCount() const;
+
+  SessionPoolStats& stats() { return stats_; }
+
+ private:
+  SessionPoolConfig config_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::vector<std::unique_ptr<Session>>>
+      idle_;
+  SessionPoolStats stats_;
+};
+
+}  // namespace core
+}  // namespace davix
+
+#endif  // DAVIX_CORE_SESSION_POOL_H_

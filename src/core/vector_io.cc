@@ -1,0 +1,86 @@
+#include "core/vector_io.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace davix {
+namespace core {
+
+std::vector<CoalescedRange> CoalesceRanges(
+    const std::vector<http::ByteRange>& requested, uint64_t max_gap) {
+  // Order user ranges by offset, remembering their original indices.
+  std::vector<size_t> order(requested.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (requested[a].offset != requested[b].offset) {
+      return requested[a].offset < requested[b].offset;
+    }
+    return requested[a].length < requested[b].length;
+  });
+
+  std::vector<CoalescedRange> out;
+  for (size_t idx : order) {
+    const http::ByteRange& r = requested[idx];
+    if (r.length == 0) continue;
+    if (!out.empty()) {
+      CoalescedRange& last = out.back();
+      uint64_t last_end = last.range.offset + last.range.length;  // exclusive
+      // Merge when the new range starts within (or overlapping) the
+      // current wire range extended by the permitted gap.
+      if (r.offset <= last_end + max_gap) {
+        uint64_t new_end = std::max(last_end, r.offset + r.length);
+        last.range.length = new_end - last.range.offset;
+        last.sources.push_back(idx);
+        continue;
+      }
+    }
+    CoalescedRange wire;
+    wire.range = r;
+    wire.sources.push_back(idx);
+    out.push_back(std::move(wire));
+  }
+  return out;
+}
+
+std::vector<std::vector<CoalescedRange>> SplitBatches(
+    std::vector<CoalescedRange> coalesced, size_t max_per_batch) {
+  if (max_per_batch == 0) max_per_batch = 1;
+  std::vector<std::vector<CoalescedRange>> batches;
+  std::vector<CoalescedRange> current;
+  current.reserve(std::min(coalesced.size(), max_per_batch));
+  for (CoalescedRange& wire : coalesced) {
+    current.push_back(std::move(wire));
+    if (current.size() == max_per_batch) {
+      batches.push_back(std::move(current));
+      current.clear();
+    }
+  }
+  if (!current.empty()) batches.push_back(std::move(current));
+  return batches;
+}
+
+Status ScatterWireRange(const CoalescedRange& wire, std::string_view data,
+                        const std::vector<http::ByteRange>& requested,
+                        std::vector<std::string>* results) {
+  if (data.size() != wire.range.length) {
+    return Status::ProtocolError(
+        "wire range data size mismatch: got " + std::to_string(data.size()) +
+        " want " + std::to_string(wire.range.length));
+  }
+  for (size_t idx : wire.sources) {
+    if (idx >= requested.size()) {
+      return Status::Internal("scatter index out of bounds");
+    }
+    const http::ByteRange& user = requested[idx];
+    if (user.offset < wire.range.offset ||
+        user.offset + user.length > wire.range.offset + wire.range.length) {
+      return Status::Internal("user range not contained in wire range");
+    }
+    (*results)[idx] =
+        std::string(data.substr(user.offset - wire.range.offset, user.length));
+  }
+  return Status::OK();
+}
+
+}  // namespace core
+}  // namespace davix

@@ -1,0 +1,52 @@
+#ifndef DAVIX_CORE_VECTOR_IO_H_
+#define DAVIX_CORE_VECTOR_IO_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "http/range.h"
+
+namespace davix {
+namespace core {
+
+/// A wire-level range produced by coalescing one or more user ranges.
+struct CoalescedRange {
+  /// The range actually requested from the server.
+  http::ByteRange range;
+  /// Indices into the user's range vector that this wire range covers.
+  std::vector<size_t> sources;
+};
+
+/// Plans the §2.3 vectored query: sorts the user's scattered ranges and
+/// merges neighbours whose gap is at most `max_gap` bytes into single
+/// wire ranges (the data-sieving idea: reading a small gap and throwing
+/// it away is cheaper than another round trip). Overlapping and duplicate
+/// user ranges are handled; zero-length ranges are skipped.
+///
+/// Invariants of the output (property-tested):
+///  - wire ranges are sorted by offset and pairwise disjoint with gaps
+///    strictly greater than `max_gap`,
+///  - every non-empty user range is fully contained in exactly one wire
+///    range (its entry appears in that range's `sources`),
+///  - total wire bytes <= sum of user bytes + gap allowance.
+std::vector<CoalescedRange> CoalesceRanges(
+    const std::vector<http::ByteRange>& requested, uint64_t max_gap);
+
+/// Splits the coalesced ranges into batches of at most `max_per_batch`
+/// wire ranges — one batch becomes one HTTP multi-range request.
+std::vector<std::vector<CoalescedRange>> SplitBatches(
+    std::vector<CoalescedRange> coalesced, size_t max_per_batch);
+
+/// Copies the bytes of one fetched wire range into the user result slots
+/// it covers. `data` must be exactly `wire.range.length` bytes.
+Status ScatterWireRange(const CoalescedRange& wire, std::string_view data,
+                        const std::vector<http::ByteRange>& requested,
+                        std::vector<std::string>* results);
+
+}  // namespace core
+}  // namespace davix
+
+#endif  // DAVIX_CORE_VECTOR_IO_H_

@@ -1,0 +1,104 @@
+#include "fed/federation_handler.h"
+
+#include "common/string_util.h"
+#include "httpd/dav_handler.h"
+
+namespace davix {
+namespace fed {
+
+bool FederationHandler::WantsMetalink(const http::HttpRequest& request) {
+  std::optional<std::string> accept = request.headers.Get("Accept");
+  if (accept && accept->find("metalink4+xml") != std::string::npos) {
+    return true;
+  }
+  std::string_view target = request.target;
+  size_t q = target.find('?');
+  if (q != std::string_view::npos) {
+    std::string_view query = target.substr(q + 1);
+    for (const std::string& param : SplitAndTrim(query, '&')) {
+      if (param == "metalink" || StartsWith(param, "metalink=")) return true;
+    }
+    target = target.substr(0, q);
+  }
+  return EndsWith(target, ".meta4");
+}
+
+void FederationHandler::Register(httpd::Router* router,
+                                 const std::string& prefix) {
+  std::shared_ptr<FederationHandler> self = weak_from_this().lock();
+  router->HandleAll(prefix,
+                    [this, self, prefix](const http::HttpRequest& request,
+                                         http::HttpResponse* response) {
+                      Handle(prefix, request, response, nullptr);
+                    });
+}
+
+void FederationHandler::RegisterWithFallback(httpd::Router* router,
+                                             const std::string& prefix,
+                                             httpd::HandlerFn fallback) {
+  std::shared_ptr<FederationHandler> self = weak_from_this().lock();
+  auto shared_fallback =
+      std::make_shared<httpd::HandlerFn>(std::move(fallback));
+  router->HandleAll(prefix, [this, self, prefix, shared_fallback](
+                                const http::HttpRequest& request,
+                                http::HttpResponse* response) {
+    Handle(prefix, request, response, shared_fallback.get());
+  });
+}
+
+void FederationHandler::Handle(const std::string& prefix,
+                               const http::HttpRequest& request,
+                               http::HttpResponse* response,
+                               const httpd::HandlerFn* fallback) {
+  bool wants_metalink = WantsMetalink(request);
+  if (!wants_metalink && fallback != nullptr) {
+    (*fallback)(request, response);
+    return;
+  }
+  if (request.method != http::Method::kGet &&
+      request.method != http::Method::kHead) {
+    response->status_code = 405;
+    response->headers.Set("Allow", "GET, HEAD");
+    return;
+  }
+
+  std::string path = httpd::RequestPath(request);
+  // Strip the registration prefix and a ".meta4" suffix to get the
+  // logical name.
+  std::string logical = path;
+  if (prefix != "/" && StartsWith(logical, prefix)) {
+    logical = logical.substr(prefix.size());
+    if (logical.empty() || logical[0] != '/') {
+      logical.insert(logical.begin(), '/');
+    }
+  }
+  if (EndsWith(logical, ".meta4")) {
+    logical = logical.substr(0, logical.size() - 6);
+  }
+
+  Result<metalink::MetalinkFile> entry = catalog_->Lookup(logical);
+  if (!entry.ok()) {
+    response->status_code = 404;
+    response->headers.Set("Content-Type", "text/plain");
+    response->body = "unknown federated resource: " + logical + "\n";
+    return;
+  }
+
+  if (wants_metalink) {
+    metalinks_served_.fetch_add(1, std::memory_order_relaxed);
+    response->status_code = 200;
+    response->headers.Set("Content-Type",
+                          std::string(metalink::kMetalinkContentType));
+    response->body = metalink::WriteMetalink(*entry);
+    return;
+  }
+
+  // Redirect mode: send the client to the best replica.
+  const std::vector<metalink::Replica> ordered = entry->SortedReplicas();
+  redirects_served_.fetch_add(1, std::memory_order_relaxed);
+  response->status_code = 302;
+  response->headers.Set("Location", ordered.front().url);
+}
+
+}  // namespace fed
+}  // namespace davix

@@ -1,0 +1,66 @@
+#ifndef DAVIX_FED_FEDERATION_HANDLER_H_
+#define DAVIX_FED_FEDERATION_HANDLER_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+
+#include "fed/replica_catalog.h"
+#include "httpd/router.h"
+
+namespace davix {
+namespace fed {
+
+/// HTTP face of the federation (the DynaFed role, §2.4).
+///
+/// For a GET on a federated logical path:
+///  - if the client asked for a Metalink (Accept:
+///    application/metalink4+xml, or a `metalink` query parameter, or a
+///    ".meta4" suffix), answer 200 with the generated Metalink document;
+///  - otherwise answer 302 to the highest-priority replica — the
+///    "classical hierarchical data federation" redirect behaviour.
+///
+/// HEAD mirrors GET's redirect. Everything else is 405.
+class FederationHandler
+    : public std::enable_shared_from_this<FederationHandler> {
+ public:
+  explicit FederationHandler(std::shared_ptr<ReplicaCatalog> catalog)
+      : catalog_(std::move(catalog)) {}
+
+  /// Registers this handler for all requests under `prefix`. Logical
+  /// paths are looked up with `prefix` stripped.
+  void Register(httpd::Router* router, const std::string& prefix);
+
+  /// Registers a combined endpoint: Metalink requests go to the
+  /// federation, everything else to `fallback` (typically a DavHandler
+  /// serving the bytes) — the davix "ask the original host for its
+  /// Metalink" convention.
+  void RegisterWithFallback(httpd::Router* router, const std::string& prefix,
+                            httpd::HandlerFn fallback);
+
+  ReplicaCatalog& catalog() { return *catalog_; }
+
+  /// Metalink documents served (benchmark visibility).
+  uint64_t metalinks_served() const {
+    return metalinks_served_.load(std::memory_order_relaxed);
+  }
+  /// Redirects issued.
+  uint64_t redirects_served() const {
+    return redirects_served_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void Handle(const std::string& prefix, const http::HttpRequest& request,
+              http::HttpResponse* response, const httpd::HandlerFn* fallback);
+
+  static bool WantsMetalink(const http::HttpRequest& request);
+
+  std::shared_ptr<ReplicaCatalog> catalog_;
+  std::atomic<uint64_t> metalinks_served_{0};
+  std::atomic<uint64_t> redirects_served_{0};
+};
+
+}  // namespace fed
+}  // namespace davix
+
+#endif  // DAVIX_FED_FEDERATION_HANDLER_H_

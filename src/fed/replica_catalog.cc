@@ -1,0 +1,85 @@
+#include "fed/replica_catalog.h"
+
+#include <algorithm>
+
+namespace davix {
+namespace fed {
+
+std::string ReplicaCatalog::Normalize(std::string_view path) {
+  std::string out(path);
+  if (out.empty() || out[0] != '/') out.insert(out.begin(), '/');
+  while (out.size() > 1 && out.back() == '/') out.pop_back();
+  return out;
+}
+
+void ReplicaCatalog::AddReplica(std::string_view path, std::string_view url,
+                                int priority) {
+  std::string key = Normalize(path);
+  std::lock_guard<std::mutex> lock(mu_);
+  metalink::MetalinkFile& entry = entries_[key];
+  if (entry.name.empty()) {
+    size_t slash = key.rfind('/');
+    entry.name = key.substr(slash + 1);
+  }
+  for (metalink::Replica& replica : entry.replicas) {
+    if (replica.url == url) {
+      replica.priority = priority;
+      return;
+    }
+  }
+  metalink::Replica replica;
+  replica.url = std::string(url);
+  replica.priority = priority;
+  entry.replicas.push_back(std::move(replica));
+}
+
+void ReplicaCatalog::SetFileMeta(std::string_view path, uint64_t size,
+                                 std::string_view md5_hex) {
+  std::string key = Normalize(path);
+  std::lock_guard<std::mutex> lock(mu_);
+  metalink::MetalinkFile& entry = entries_[key];
+  entry.size = size;
+  entry.md5 = std::string(md5_hex);
+}
+
+bool ReplicaCatalog::RemoveReplica(std::string_view path,
+                                   std::string_view url) {
+  std::string key = Normalize(path);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return false;
+  auto& replicas = it->second.replicas;
+  auto removed = std::remove_if(
+      replicas.begin(), replicas.end(),
+      [&](const metalink::Replica& r) { return r.url == url; });
+  bool found = removed != replicas.end();
+  replicas.erase(removed, replicas.end());
+  return found;
+}
+
+void ReplicaCatalog::Remove(std::string_view path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.erase(Normalize(path));
+}
+
+Result<metalink::MetalinkFile> ReplicaCatalog::Lookup(
+    std::string_view path) const {
+  std::string key = Normalize(path);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end() || it->second.replicas.empty()) {
+    return Status::NotFound("no replicas registered for " + key);
+  }
+  return it->second;
+}
+
+std::vector<std::string> ReplicaCatalog::Paths() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [path, entry] : entries_) out.push_back(path);
+  return out;
+}
+
+}  // namespace fed
+}  // namespace davix

@@ -1,0 +1,54 @@
+#ifndef DAVIX_FED_REPLICA_CATALOG_H_
+#define DAVIX_FED_REPLICA_CATALOG_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "metalink/metalink.h"
+
+namespace davix {
+namespace fed {
+
+/// Thread-safe logical-name -> replica-set catalogue: the state behind a
+/// DynaFed-like "Dynamic Storage Federation" endpoint (§2.4). Keys are
+/// logical paths ("/atlas/events.root"); values are the Metalink fields
+/// for that resource.
+class ReplicaCatalog {
+ public:
+  ReplicaCatalog() = default;
+
+  /// Adds (or re-prioritises) one replica of `path`.
+  void AddReplica(std::string_view path, std::string_view url, int priority);
+
+  /// Records content metadata used in generated Metalinks.
+  void SetFileMeta(std::string_view path, uint64_t size,
+                   std::string_view md5_hex);
+
+  /// Removes one replica URL; true if it was present.
+  bool RemoveReplica(std::string_view path, std::string_view url);
+
+  /// Drops the whole entry.
+  void Remove(std::string_view path);
+
+  /// Metalink document data for `path`; kNotFound when unknown.
+  Result<metalink::MetalinkFile> Lookup(std::string_view path) const;
+
+  /// All registered logical paths (sorted).
+  std::vector<std::string> Paths() const;
+
+ private:
+  static std::string Normalize(std::string_view path);
+
+  mutable std::mutex mu_;
+  std::map<std::string, metalink::MetalinkFile> entries_;
+};
+
+}  // namespace fed
+}  // namespace davix
+
+#endif  // DAVIX_FED_REPLICA_CATALOG_H_

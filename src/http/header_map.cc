@@ -1,0 +1,68 @@
+#include "http/header_map.h"
+
+#include "common/string_util.h"
+
+namespace davix {
+namespace http {
+
+void HeaderMap::Add(std::string_view name, std::string_view value) {
+  entries_.emplace_back(std::string(name), std::string(value));
+}
+
+void HeaderMap::Set(std::string_view name, std::string_view value) {
+  Remove(name);
+  Add(name, value);
+}
+
+std::optional<std::string> HeaderMap::Get(std::string_view name) const {
+  for (const auto& [key, value] : entries_) {
+    if (EqualsIgnoreCase(key, name)) return value;
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string> HeaderMap::GetAll(std::string_view name) const {
+  std::vector<std::string> out;
+  for (const auto& [key, value] : entries_) {
+    if (EqualsIgnoreCase(key, name)) out.push_back(value);
+  }
+  return out;
+}
+
+size_t HeaderMap::Remove(std::string_view name) {
+  size_t removed = 0;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (EqualsIgnoreCase(it->first, name)) {
+      it = entries_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+std::optional<uint64_t> HeaderMap::GetUint64(std::string_view name) const {
+  std::optional<std::string> value = Get(name);
+  if (!value) return std::nullopt;
+  return ParseUint64(TrimWhitespace(*value));
+}
+
+bool HeaderMap::ValueEquals(std::string_view name,
+                            std::string_view token) const {
+  std::optional<std::string> value = Get(name);
+  return value && EqualsIgnoreCase(TrimWhitespace(*value), token);
+}
+
+bool HeaderMap::ListContains(std::string_view name,
+                             std::string_view token) const {
+  for (const std::string& value : GetAll(name)) {
+    for (const std::string& item : SplitAndTrim(value, ',')) {
+      if (EqualsIgnoreCase(item, token)) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace http
+}  // namespace davix

@@ -1,0 +1,66 @@
+#ifndef DAVIX_HTTP_HEADER_MAP_H_
+#define DAVIX_HTTP_HEADER_MAP_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace davix {
+namespace http {
+
+/// Ordered, case-insensitive HTTP header collection.
+///
+/// Headers keep their insertion order (required for deterministic wire
+/// output) and compare names ASCII-case-insensitively per RFC 7230.
+/// Multiple headers with the same name are allowed.
+class HeaderMap {
+ public:
+  HeaderMap() = default;
+
+  /// Appends a header, keeping existing ones with the same name.
+  void Add(std::string_view name, std::string_view value);
+
+  /// Replaces all headers named `name` with a single one.
+  void Set(std::string_view name, std::string_view value);
+
+  /// First value for `name`, if any.
+  std::optional<std::string> Get(std::string_view name) const;
+
+  /// All values for `name`, in insertion order.
+  std::vector<std::string> GetAll(std::string_view name) const;
+
+  bool Has(std::string_view name) const { return Get(name).has_value(); }
+
+  /// Removes all headers named `name`; returns how many were removed.
+  size_t Remove(std::string_view name);
+
+  /// Parses the first `name` value as a non-negative integer
+  /// (Content-Length and friends).
+  std::optional<uint64_t> GetUint64(std::string_view name) const;
+
+  /// True when `name`'s value equals `token` case-insensitively
+  /// ("Connection: close" style checks).
+  bool ValueEquals(std::string_view name, std::string_view token) const;
+
+  /// True when the comma-separated list in `name` contains `token`
+  /// (case-insensitive), e.g. Connection: keep-alive, TE.
+  bool ListContains(std::string_view name, std::string_view token) const;
+
+  const std::vector<std::pair<std::string, std::string>>& entries() const {
+    return entries_;
+  }
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+  void Clear() { entries_.clear(); }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
+
+}  // namespace http
+}  // namespace davix
+
+#endif  // DAVIX_HTTP_HEADER_MAP_H_

@@ -1,0 +1,82 @@
+#ifndef DAVIX_HTTP_MESSAGE_H_
+#define DAVIX_HTTP_MESSAGE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "http/header_map.h"
+
+namespace davix {
+namespace http {
+
+/// HTTP methods used by data access: the CRUD set (§2.1 of the paper) plus
+/// the WebDAV verbs davix needs for namespace operations.
+enum class Method {
+  kGet,
+  kHead,
+  kPut,
+  kDelete,
+  kOptions,
+  kPost,
+  kMkcol,     // WebDAV: create collection (directory)
+  kPropfind,  // WebDAV: stat / listing
+  kMove,      // WebDAV: rename
+  kCopy,      // WebDAV: server-side copy
+};
+
+std::string_view MethodName(Method method);
+Result<Method> ParseMethod(std::string_view name);
+
+/// Reason phrase for a status code ("OK", "Partial Content", ...).
+std::string_view ReasonPhrase(int status_code);
+
+/// Status code classification helpers.
+inline bool IsSuccess(int code) { return code >= 200 && code < 300; }
+inline bool IsRedirect(int code) {
+  return code == 301 || code == 302 || code == 303 || code == 307 ||
+         code == 308;
+}
+
+/// An HTTP/1.1 request as written to / read from the wire.
+struct HttpRequest {
+  Method method = Method::kGet;
+  /// Origin-form target: path plus optional "?query".
+  std::string target = "/";
+  /// Always "HTTP/1.1" when emitted by this library.
+  std::string version = "HTTP/1.1";
+  HeaderMap headers;
+  std::string body;
+
+  /// Serialises head + body for the wire. Adds Content-Length for
+  /// non-empty bodies if absent.
+  std::string Serialize() const;
+};
+
+/// An HTTP/1.1 response.
+struct HttpResponse {
+  int status_code = 200;
+  std::string reason;
+  std::string version = "HTTP/1.1";
+  HeaderMap headers;
+  std::string body;
+
+  /// True if, per RFC 7230 §6.3 and our headers, the connection can be
+  /// reused for another request after this response.
+  bool KeepsConnectionAlive() const;
+
+  std::string Serialize() const;
+};
+
+/// Formats `epoch_seconds` as an IMF-fixdate ("Sun, 06 Nov 1994 08:49:37
+/// GMT") for Date / Last-Modified headers.
+std::string FormatHttpDate(int64_t epoch_seconds);
+
+/// Parses an IMF-fixdate back to epoch seconds.
+Result<int64_t> ParseHttpDate(std::string_view value);
+
+}  // namespace http
+}  // namespace davix
+
+#endif  // DAVIX_HTTP_MESSAGE_H_

@@ -1,0 +1,52 @@
+#ifndef DAVIX_HTTP_MULTIPART_H_
+#define DAVIX_HTTP_MULTIPART_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "http/range.h"
+
+namespace davix {
+namespace http {
+
+/// One part of a multipart/byteranges payload: the bytes of `range` of a
+/// resource whose size is `total_size`.
+struct BytesPart {
+  ByteRange range;
+  uint64_t total_size = 0;
+  std::string data;
+
+  friend bool operator==(const BytesPart& a, const BytesPart& b) {
+    return a.range == b.range && a.total_size == b.total_size &&
+           a.data == b.data;
+  }
+};
+
+/// Generates a boundary token that does not occur in any part's data.
+/// `salt` seeds the candidate so concurrent responses differ.
+std::string GenerateBoundary(const std::vector<BytesPart>& parts,
+                             uint64_t salt);
+
+/// Serialises `parts` as a multipart/byteranges body using `boundary`.
+/// This is the payload of a 206 response to a multi-range GET (§2.3):
+/// each part carries its own Content-Range header.
+std::string BuildMultipartBody(const std::vector<BytesPart>& parts,
+                               std::string_view boundary);
+
+/// Extracts the boundary parameter from a Content-Type value like
+/// `multipart/byteranges; boundary=THIS`.
+Result<std::string> ExtractBoundary(std::string_view content_type);
+
+/// Parses a multipart/byteranges body back into parts. Strict about
+/// delimiter syntax; fails with kProtocolError on any malformation so a
+/// broken server cannot silently corrupt a vectored read.
+Result<std::vector<BytesPart>> ParseMultipartBody(std::string_view body,
+                                                  std::string_view boundary);
+
+}  // namespace http
+}  // namespace davix
+
+#endif  // DAVIX_HTTP_MULTIPART_H_

@@ -1,0 +1,55 @@
+#ifndef DAVIX_HTTP_PARSER_H_
+#define DAVIX_HTTP_PARSER_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "http/message.h"
+#include "net/buffered_reader.h"
+
+namespace davix {
+namespace http {
+
+/// Reads HTTP/1.1 messages from a buffered connection.
+///
+/// Head and body are separate steps so servers can decide routing (and
+/// fault injection) before consuming a request body, and clients can
+/// stream large response bodies.
+class MessageReader {
+ public:
+  /// Reads a request line plus headers. An EOF before the first byte is a
+  /// clean idle-connection close and is reported as kConnectionReset with
+  /// message "idle close" so keep-alive loops can tell it apart from a
+  /// mid-message drop.
+  static Result<HttpRequest> ReadRequestHead(net::BufferedReader* reader);
+
+  /// Reads the request body per Content-Length / Transfer-Encoding.
+  static Status ReadRequestBody(net::BufferedReader* reader,
+                                HttpRequest* request);
+
+  /// Reads a status line plus headers.
+  static Result<HttpResponse> ReadResponseHead(net::BufferedReader* reader);
+
+  /// Reads the response body. `was_head_request` suppresses the body for
+  /// responses to HEAD regardless of framing headers (RFC 7230 §3.3.3).
+  static Status ReadResponseBody(net::BufferedReader* reader,
+                                 bool was_head_request,
+                                 HttpResponse* response);
+
+  /// Upper bound on accepted header block size; guards servers against
+  /// unbounded memory from malicious clients.
+  static constexpr size_t kMaxHeaderBytes = 256 * 1024;
+  /// Upper bound on bodies buffered in memory.
+  static constexpr size_t kMaxBodyBytes = 1024ull * 1024 * 1024;
+};
+
+/// Encodes `data` with chunked transfer coding using chunks of
+/// `chunk_size` bytes (the terminating 0-chunk included).
+std::string ChunkedEncode(std::string_view data, size_t chunk_size);
+
+}  // namespace http
+}  // namespace davix
+
+#endif  // DAVIX_HTTP_PARSER_H_

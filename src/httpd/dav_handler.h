@@ -1,0 +1,89 @@
+#ifndef DAVIX_HTTPD_DAV_HANDLER_H_
+#define DAVIX_HTTPD_DAV_HANDLER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "http/message.h"
+#include "httpd/object_store.h"
+#include "httpd/router.h"
+
+namespace davix {
+namespace httpd {
+
+/// Counters describing how the storage endpoint was exercised; benchmarks
+/// read these to report server-side load (the paper's multi-stream
+/// drawback is "overloading the servers considerably").
+struct DavHandlerStats {
+  std::atomic<uint64_t> get_requests{0};
+  std::atomic<uint64_t> head_requests{0};
+  std::atomic<uint64_t> put_requests{0};
+  std::atomic<uint64_t> delete_requests{0};
+  std::atomic<uint64_t> propfind_requests{0};
+  std::atomic<uint64_t> range_requests{0};       ///< single-range GETs
+  std::atomic<uint64_t> multirange_requests{0};  ///< multi-range GETs
+  std::atomic<uint64_t> ranges_served{0};        ///< total ranges in them
+  std::atomic<uint64_t> bytes_served{0};
+};
+
+/// WebDAV-flavoured storage endpoint over an ObjectStore.
+///
+/// Implements what davix exercises against a DPM/dCache-style HTTP door:
+/// GET (full, single-range 206, multi-range 206 multipart/byteranges),
+/// HEAD, PUT, DELETE, MKCOL, MOVE, OPTIONS and PROPFIND (Depth 0/1).
+///
+/// `support_multirange = false` simulates servers that ignore the
+/// multi-range form and reply 200 with the whole entity — the fallback
+/// path a robust vectored-I/O client must handle (§2.3).
+class DavHandler : public std::enable_shared_from_this<DavHandler> {
+ public:
+  explicit DavHandler(std::shared_ptr<ObjectStore> store)
+      : store_(std::move(store)) {}
+
+  /// Registers this handler for all methods under `prefix`. When the
+  /// handler is owned by a shared_ptr (the usual case), the route shares
+  /// ownership, so the handler outlives the router registration even if
+  /// the caller drops its reference.
+  void Register(Router* router, const std::string& prefix);
+
+  void set_support_multirange(bool enabled) { support_multirange_ = enabled; }
+  /// When capped, multi-range GETs with more ranges than the cap are
+  /// answered 416, mimicking servers that bound multipart fan-out.
+  void set_max_ranges_per_request(size_t cap) { max_ranges_ = cap; }
+
+  DavHandlerStats& stats() { return stats_; }
+  ObjectStore& store() { return *store_; }
+
+  /// Entry point used by Register; public for direct testing.
+  void Handle(const http::HttpRequest& request, http::HttpResponse* response);
+
+ private:
+  void DoGet(const http::HttpRequest& request, http::HttpResponse* response,
+             bool head_only);
+  void DoPut(const http::HttpRequest& request, http::HttpResponse* response);
+  void DoDelete(const http::HttpRequest& request,
+                http::HttpResponse* response);
+  void DoMkcol(const http::HttpRequest& request, http::HttpResponse* response);
+  void DoMove(const http::HttpRequest& request, http::HttpResponse* response);
+  void DoCopy(const http::HttpRequest& request, http::HttpResponse* response);
+  void DoOptions(http::HttpResponse* response);
+  void DoPropfind(const http::HttpRequest& request,
+                  http::HttpResponse* response);
+
+  std::shared_ptr<ObjectStore> store_;
+  bool support_multirange_ = true;
+  size_t max_ranges_ = 0;  // 0 = unlimited
+  std::atomic<uint64_t> boundary_salt_{1};
+  DavHandlerStats stats_;
+};
+
+/// Extracts the path component of a request target (query stripped,
+/// percent-decoded). Exposed for reuse by other handlers.
+std::string RequestPath(const http::HttpRequest& request);
+
+}  // namespace httpd
+}  // namespace davix
+
+#endif  // DAVIX_HTTPD_DAV_HANDLER_H_

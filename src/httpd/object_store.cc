@@ -1,0 +1,167 @@
+#include "httpd/object_store.h"
+
+#include "common/clock.h"
+#include "common/string_util.h"
+
+namespace davix {
+namespace httpd {
+
+std::string ObjectStore::Normalize(std::string_view path) {
+  std::string out(path);
+  if (out.empty() || out[0] != '/') out.insert(out.begin(), '/');
+  while (out.size() > 1 && out.back() == '/') out.pop_back();
+  return out;
+}
+
+bool ObjectStore::Put(std::string_view path, std::string data) {
+  std::string key = Normalize(path);
+  auto object = std::make_shared<StoredObject>();
+  object->data = std::move(data);
+  object->mtime_epoch_seconds = WallSeconds();
+  std::lock_guard<std::mutex> lock(mu_);
+  object->etag = "\"dv-" + std::to_string(++etag_counter_) + "\"";
+  bool existed = objects_.count(key) > 0;
+  objects_[key] = std::move(object);
+  // Implicitly create parent collections so PUT to a deep path works like
+  // most object stores.
+  std::string parent = key;
+  while (true) {
+    size_t slash = parent.rfind('/');
+    if (slash == 0 || slash == std::string::npos) break;
+    parent = parent.substr(0, slash);
+    collections_.insert(parent);
+  }
+  return existed;
+}
+
+Result<std::shared_ptr<const StoredObject>> ObjectStore::Get(
+    std::string_view path) const {
+  std::string key = Normalize(path);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = objects_.find(key);
+  if (it == objects_.end()) {
+    return Status::NotFound("no such object: " + key);
+  }
+  return it->second;
+}
+
+Status ObjectStore::Delete(std::string_view path) {
+  std::string key = Normalize(path);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (objects_.erase(key) > 0) return Status::OK();
+  if (collections_.count(key) > 0) {
+    // Remove the collection and everything below it.
+    collections_.erase(key);
+    std::string prefix = key + "/";
+    for (auto it = objects_.begin(); it != objects_.end();) {
+      if (StartsWith(it->first, prefix)) {
+        it = objects_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    for (auto it = collections_.begin(); it != collections_.end();) {
+      if (StartsWith(*it, prefix)) {
+        it = collections_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    return Status::OK();
+  }
+  return Status::NotFound("no such object: " + key);
+}
+
+Result<ObjectMeta> ObjectStore::Stat(std::string_view path) const {
+  std::string key = Normalize(path);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = objects_.find(key);
+  if (it != objects_.end()) {
+    ObjectMeta meta;
+    meta.size = it->second->data.size();
+    meta.mtime_epoch_seconds = it->second->mtime_epoch_seconds;
+    meta.etag = it->second->etag;
+    return meta;
+  }
+  if (key == "/" || collections_.count(key) > 0) {
+    ObjectMeta meta;
+    meta.is_collection = true;
+    meta.mtime_epoch_seconds = WallSeconds();
+    return meta;
+  }
+  return Status::NotFound("no such object: " + key);
+}
+
+Status ObjectStore::MakeCollection(std::string_view path) {
+  std::string key = Normalize(path);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (objects_.count(key) > 0) {
+    return Status::InvalidArgument("object exists at " + key);
+  }
+  collections_.insert(key);
+  return Status::OK();
+}
+
+Status ObjectStore::Move(std::string_view from, std::string_view to) {
+  std::string from_key = Normalize(from);
+  std::string to_key = Normalize(to);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = objects_.find(from_key);
+  if (it == objects_.end()) {
+    return Status::NotFound("no such object: " + from_key);
+  }
+  objects_[to_key] = it->second;
+  objects_.erase(it);
+  return Status::OK();
+}
+
+Status ObjectStore::Copy(std::string_view from, std::string_view to) {
+  std::string from_key = Normalize(from);
+  std::string to_key = Normalize(to);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = objects_.find(from_key);
+  if (it == objects_.end()) {
+    return Status::NotFound("no such object: " + from_key);
+  }
+  objects_[to_key] = it->second;
+  return Status::OK();
+}
+
+Result<std::vector<std::string>> ObjectStore::ListChildren(
+    std::string_view path) const {
+  std::string key = Normalize(path);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (key != "/" && collections_.count(key) == 0) {
+    return Status::NotFound("no such collection: " + key);
+  }
+  std::string prefix = key == "/" ? "/" : key + "/";
+  std::set<std::string> names;
+  for (const auto& [object_path, object] : objects_) {
+    if (!StartsWith(object_path, prefix)) continue;
+    std::string rest = object_path.substr(prefix.size());
+    size_t slash = rest.find('/');
+    names.insert(slash == std::string::npos ? rest : rest.substr(0, slash));
+  }
+  for (const std::string& coll : collections_) {
+    if (!StartsWith(coll, prefix)) continue;
+    std::string rest = coll.substr(prefix.size());
+    size_t slash = rest.find('/');
+    names.insert(slash == std::string::npos ? rest : rest.substr(0, slash));
+  }
+  return std::vector<std::string>(names.begin(), names.end());
+}
+
+size_t ObjectStore::ObjectCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return objects_.size();
+}
+
+uint64_t ObjectStore::TotalBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const auto& [path, object] : objects_) total += object->data.size();
+  return total;
+}
+
+}  // namespace httpd
+}  // namespace davix

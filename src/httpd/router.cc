@@ -1,0 +1,44 @@
+#include "httpd/router.h"
+
+#include "common/string_util.h"
+
+namespace davix {
+namespace httpd {
+
+void Router::Handle(http::Method method, std::string path_prefix,
+                    HandlerFn handler) {
+  routes_.push_back(Route{method, std::move(path_prefix), std::move(handler)});
+}
+
+void Router::HandleAll(std::string path_prefix, HandlerFn handler) {
+  routes_.push_back(
+      Route{std::nullopt, std::move(path_prefix), std::move(handler)});
+}
+
+void Router::Dispatch(const http::HttpRequest& request,
+                      http::HttpResponse* response) const {
+  // Strip the query string for matching.
+  std::string_view path = request.target;
+  size_t q = path.find('?');
+  if (q != std::string_view::npos) path = path.substr(0, q);
+
+  const Route* best = nullptr;
+  for (const Route& route : routes_) {
+    if (route.method && *route.method != request.method) continue;
+    if (!StartsWith(path, route.path_prefix)) continue;
+    if (best == nullptr ||
+        route.path_prefix.size() >= best->path_prefix.size()) {
+      best = &route;
+    }
+  }
+  if (best == nullptr) {
+    response->status_code = 404;
+    response->headers.Set("Content-Type", "text/plain");
+    response->body = "no route for " + std::string(path) + "\n";
+    return;
+  }
+  best->handler(request, response);
+}
+
+}  // namespace httpd
+}  // namespace davix

@@ -1,0 +1,53 @@
+#ifndef DAVIX_HTTPD_ROUTER_H_
+#define DAVIX_HTTPD_ROUTER_H_
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "http/message.h"
+
+namespace davix {
+namespace httpd {
+
+/// A request handler fills in `response`; the server owns framing,
+/// keep-alive and shaping. Handlers must be thread-safe: the server calls
+/// them concurrently from connection threads.
+using HandlerFn =
+    std::function<void(const http::HttpRequest& request,
+                       http::HttpResponse* response)>;
+
+/// Longest-prefix request router.
+///
+/// Routes match on an optional method and a path prefix; among matches the
+/// longest prefix wins, and on equal prefixes the latest registration wins
+/// (so wrappers can override earlier handlers). Unmatched requests get 404.
+class Router {
+ public:
+  /// Registers `handler` for `method` requests under `path_prefix`.
+  void Handle(http::Method method, std::string path_prefix,
+              HandlerFn handler);
+
+  /// Registers `handler` for every method under `path_prefix`.
+  void HandleAll(std::string path_prefix, HandlerFn handler);
+
+  /// Dispatches a request; writes 404 if nothing matches.
+  void Dispatch(const http::HttpRequest& request,
+                http::HttpResponse* response) const;
+
+ private:
+  struct Route {
+    std::optional<http::Method> method;
+    std::string path_prefix;
+    HandlerFn handler;
+  };
+
+  std::vector<Route> routes_;
+};
+
+}  // namespace httpd
+}  // namespace davix
+
+#endif  // DAVIX_HTTPD_ROUTER_H_

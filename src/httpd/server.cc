@@ -1,0 +1,205 @@
+#include "httpd/server.h"
+
+#include <sys/socket.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/base64.h"
+#include "common/clock.h"
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "http/parser.h"
+#include "httpd/dav_handler.h"
+#include "net/buffered_reader.h"
+#include "netsim/shaper.h"
+
+namespace davix {
+namespace httpd {
+namespace {
+
+/// Accept-poll period: bounds how long Stop() waits on the accept loop.
+constexpr int64_t kAcceptPollMicros = 50'000;
+
+}  // namespace
+
+HttpServer::HttpServer(ServerConfig config, std::shared_ptr<Router> router)
+    : config_(std::move(config)),
+      router_(std::move(router)),
+      faults_(config_.fault_seed) {}
+
+Result<std::unique_ptr<HttpServer>> HttpServer::Start(
+    ServerConfig config, std::shared_ptr<Router> router) {
+  std::unique_ptr<HttpServer> server(
+      new HttpServer(std::move(config), std::move(router)));
+  DAVIX_ASSIGN_OR_RETURN(server->listener_,
+                         net::TcpListener::Listen(server->config_.port));
+  server->accept_thread_ = std::thread([s = server.get()] { s->AcceptLoop(); });
+  DAVIX_LOG(kInfo) << "httpd listening on port " << server->port();
+  return server;
+}
+
+HttpServer::~HttpServer() { Stop(); }
+
+std::string HttpServer::BaseUrl() const {
+  return "http://127.0.0.1:" + std::to_string(port());
+}
+
+void HttpServer::Stop() {
+  bool expected = false;
+  bool won = stopping_.compare_exchange_strong(expected, true);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (!won) return;
+  listener_.Close();
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    // Force-unblock connections parked in idle keep-alive reads.
+    for (int fd : active_fds_) ::shutdown(fd, SHUT_RDWR);
+    threads.swap(connection_threads_);
+  }
+  for (std::thread& t : threads) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void HttpServer::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    Result<net::TcpSocket> socket = listener_.Accept(kAcceptPollMicros);
+    if (!socket.ok()) {
+      if (socket.status().IsTimeout()) continue;
+      if (!stopping_.load(std::memory_order_relaxed)) {
+        DAVIX_LOG(kError) << "accept failed: " << socket.status().ToString();
+      }
+      return;
+    }
+    stats_.connections_accepted.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    connection_threads_.emplace_back(
+        [this, sock = std::move(*socket)]() mutable {
+          HandleConnection(std::move(sock));
+        });
+  }
+}
+
+bool HttpServer::CheckAuth(const http::HttpRequest& request) const {
+  std::optional<std::string> authorization =
+      request.headers.Get("Authorization");
+  if (!authorization) return false;
+  std::string_view value = TrimWhitespace(*authorization);
+  if (!StartsWith(value, "Basic ")) return false;
+  Result<std::string> decoded = Base64Decode(value.substr(6));
+  if (!decoded.ok()) return false;
+  return *decoded ==
+         config_.basic_auth_user + ":" + config_.basic_auth_password;
+}
+
+void HttpServer::HandleConnection(net::TcpSocket socket) {
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    active_fds_.insert(socket.fd());
+  }
+  stats_.connections_active.fetch_add(1, std::memory_order_relaxed);
+  (void)socket.SetNoDelay(true);
+  netsim::ConnectionShaper shaper(config_.link);
+  net::BufferedReader reader(&socket, config_.idle_timeout_micros);
+  bool first_request = true;
+
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    uint64_t consumed_before = reader.bytes_consumed();
+    Result<http::HttpRequest> head =
+        http::MessageReader::ReadRequestHead(&reader);
+    if (!head.ok()) {
+      // Idle close, timeout, or protocol garbage: drop the connection.
+      break;
+    }
+    http::HttpRequest request = std::move(*head);
+    if (!http::MessageReader::ReadRequestBody(&reader, &request).ok()) break;
+    uint64_t request_bytes = reader.bytes_consumed() - consumed_before;
+    stats_.bytes_received.fetch_add(request_bytes, std::memory_order_relaxed);
+    stats_.requests_handled.fetch_add(1, std::memory_order_relaxed);
+    if (!first_request) {
+      stats_.keepalive_reuses.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    // Upstream shaping (handshake on the first exchange + request
+    // propagation).
+    int64_t in_delay =
+        shaper.OnRequestReceived(static_cast<int64_t>(request_bytes));
+
+    // Fault injection decides the fate of this request before routing.
+    netsim::FaultRule fault = faults_.Decide(RequestPath(request));
+    if (fault.action != netsim::FaultAction::kNone) {
+      stats_.faults_injected.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (fault.action == netsim::FaultAction::kRefuseConnection) {
+      break;  // close without answering
+    }
+    if (fault.action == netsim::FaultAction::kStall) {
+      SleepForMicros(fault.stall_micros);
+      break;
+    }
+
+    http::HttpResponse response;
+    if (fault.action == netsim::FaultAction::kServerError) {
+      response.status_code = 503;
+      response.headers.Set("Content-Type", "text/plain");
+      response.body = "injected fault\n";
+    } else if (!config_.basic_auth_user.empty() && !CheckAuth(request)) {
+      response.status_code = 401;
+      response.headers.Set("WWW-Authenticate", "Basic realm=\"davix\"");
+      response.headers.Set("Content-Type", "text/plain");
+      response.body = "authentication required\n";
+    } else {
+      router_->Dispatch(request, &response);
+    }
+
+    bool client_wants_close =
+        request.headers.ListContains("Connection", "close") ||
+        (request.version == "HTTP/1.0" &&
+         !request.headers.ListContains("Connection", "keep-alive"));
+    bool keep_alive = config_.enable_keepalive && !client_wants_close &&
+                      fault.action != netsim::FaultAction::kTruncateBody;
+
+    response.headers.Set("Server", config_.server_name);
+    response.headers.Set("Date", http::FormatHttpDate(WallSeconds()));
+    response.headers.Set("Connection", keep_alive ? "keep-alive" : "close");
+
+    bool head_request = request.method == http::Method::kHead;
+    if (head_request) {
+      // HEAD responses advertise the entity length but carry no body.
+      if (!response.headers.Has("Content-Length")) {
+        response.headers.Set("Content-Length",
+                             std::to_string(response.body.size()));
+      }
+      response.body.clear();
+    }
+
+    std::string wire = response.Serialize();
+    if (fault.action == netsim::FaultAction::kTruncateBody &&
+        !response.body.empty()) {
+      wire.resize(wire.size() - response.body.size() / 2 - 1);
+    }
+
+    int64_t out_delay =
+        shaper.OnResponseSend(static_cast<int64_t>(wire.size()));
+    SleepForMicros(in_delay + out_delay);
+
+    if (!socket.WriteAll(wire).ok()) break;
+    stats_.bytes_sent.fetch_add(wire.size(), std::memory_order_relaxed);
+    first_request = false;
+
+    if (!keep_alive || fault.action == netsim::FaultAction::kTruncateBody) {
+      break;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    active_fds_.erase(socket.fd());
+  }
+  socket.Close();
+  stats_.connections_active.fetch_sub(1, std::memory_order_relaxed);
+}
+
+}  // namespace httpd
+}  // namespace davix

@@ -1,0 +1,95 @@
+#include "metalink/metalink.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "xml/xml.h"
+
+namespace davix {
+namespace metalink {
+
+std::vector<Replica> MetalinkFile::SortedReplicas() const {
+  std::vector<Replica> out = replicas;
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Replica& a, const Replica& b) {
+                     return a.priority < b.priority;
+                   });
+  return out;
+}
+
+Result<MetalinkFile> ParseMetalink(std::string_view xml_text) {
+  DAVIX_ASSIGN_OR_RETURN(auto root, xml::ParseXml(xml_text));
+  // Root element must be <metalink> (possibly namespace-prefixed).
+  std::string_view root_name = root->name();
+  size_t colon = root_name.find(':');
+  if (colon != std::string_view::npos) root_name.remove_prefix(colon + 1);
+  if (root_name != "metalink") {
+    return Status::ProtocolError("not a metalink document (root <" +
+                                 root->name() + ">)");
+  }
+  const xml::XmlNode* file = root->FirstChild("file");
+  if (file == nullptr) {
+    return Status::ProtocolError("metalink has no <file> element");
+  }
+
+  MetalinkFile out;
+  out.name = file->GetAttribute("name").value_or("");
+  std::string size_text = file->ChildText("size");
+  if (!size_text.empty()) {
+    std::optional<uint64_t> size = ParseUint64(size_text);
+    if (!size) {
+      return Status::ProtocolError("bad metalink <size>: " + size_text);
+    }
+    out.size = *size;
+  }
+  for (const xml::XmlNode* hash : file->Children("hash")) {
+    std::string type = hash->GetAttribute("type").value_or("");
+    if (EqualsIgnoreCase(type, "md5")) {
+      out.md5 = AsciiLower(TrimWhitespace(hash->text()));
+    }
+  }
+  for (const xml::XmlNode* url : file->Children("url")) {
+    Replica replica;
+    replica.url = std::string(TrimWhitespace(url->text()));
+    if (replica.url.empty()) continue;
+    if (std::optional<std::string> prio = url->GetAttribute("priority")) {
+      std::optional<uint64_t> p = ParseUint64(*prio);
+      if (p && *p >= 1 && *p <= 999999) {
+        replica.priority = static_cast<int>(*p);
+      }
+    }
+    replica.location = url->GetAttribute("location").value_or("");
+    out.replicas.push_back(std::move(replica));
+  }
+  if (out.replicas.empty()) {
+    return Status::ProtocolError("metalink <file> has no <url> replicas");
+  }
+  return out;
+}
+
+std::string WriteMetalink(const MetalinkFile& file) {
+  xml::XmlNode root("metalink");
+  root.SetAttribute("xmlns", "urn:ietf:params:xml:ns:metalink");
+  xml::XmlNode* file_node = root.AddChild("file");
+  file_node->SetAttribute("name", file.name);
+  if (file.size > 0) {
+    file_node->AddChild("size")->set_text(std::to_string(file.size));
+  }
+  if (!file.md5.empty()) {
+    xml::XmlNode* hash = file_node->AddChild("hash");
+    hash->SetAttribute("type", "md5");
+    hash->set_text(file.md5);
+  }
+  for (const Replica& replica : file.replicas) {
+    xml::XmlNode* url = file_node->AddChild("url");
+    url->SetAttribute("priority", std::to_string(replica.priority));
+    if (!replica.location.empty()) {
+      url->SetAttribute("location", replica.location);
+    }
+    url->set_text(replica.url);
+  }
+  return "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n" + root.Serialize(2);
+}
+
+}  // namespace metalink
+}  // namespace davix

@@ -1,0 +1,58 @@
+#ifndef DAVIX_METALINK_METALINK_H_
+#define DAVIX_METALINK_METALINK_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace davix {
+namespace metalink {
+
+/// One replica location inside a Metalink document.
+struct Replica {
+  /// Absolute URL of the replica.
+  std::string url;
+  /// RFC 5854 priority: lower is preferred. Replicas are tried in
+  /// ascending priority order by the fail-over engine.
+  int priority = 1;
+  /// Optional ISO country code, informational.
+  std::string location;
+};
+
+/// In-memory form of a Metalink (RFC 5854) file description (§2.4).
+///
+/// "A Metalink file is a resource description and a set of ordered
+/// pointers to this resource" — exactly the fields below.
+struct MetalinkFile {
+  /// Resource name (file name within the Metalink).
+  std::string name;
+  /// Size in bytes; 0 when unknown.
+  uint64_t size = 0;
+  /// Lower-case hex md5 of the content; empty when absent.
+  std::string md5;
+  /// Replica pointers, any order; consumers sort by priority.
+  std::vector<Replica> replicas;
+
+  /// Replicas sorted by ascending priority (stable for equal priorities,
+  /// preserving document order).
+  std::vector<Replica> SortedReplicas() const;
+};
+
+/// Parses a Metalink 4.0 (RFC 5854) XML document. Only the first <file>
+/// element is considered: davix resolves one resource per Metalink.
+Result<MetalinkFile> ParseMetalink(std::string_view xml_text);
+
+/// Serialises `file` as a Metalink 4.0 document.
+std::string WriteMetalink(const MetalinkFile& file);
+
+/// Media type of Metalink documents, used in Accept / Content-Type.
+inline constexpr std::string_view kMetalinkContentType =
+    "application/metalink4+xml";
+
+}  // namespace metalink
+}  // namespace davix
+
+#endif  // DAVIX_METALINK_METALINK_H_

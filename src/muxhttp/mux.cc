@@ -1,0 +1,289 @@
+#include "muxhttp/mux.h"
+
+#include <sys/socket.h>
+
+#include "common/clock.h"
+#include "common/logging.h"
+#include "common/thread_pool.h"
+#include "http/parser.h"
+#include "net/byte_source.h"
+#include "net/socket_address.h"
+#include "netsim/shaper.h"
+
+namespace davix {
+namespace muxhttp {
+namespace {
+
+constexpr int64_t kAcceptPollMicros = 50'000;
+constexpr size_t kWorkersPerConnection = 8;
+
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+uint32_t GetU32(const char* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<unsigned char>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+std::string SerializeMuxFrame(uint32_t stream_id, std::string_view payload) {
+  std::string out;
+  out.reserve(kMuxFrameHeaderSize + payload.size());
+  PutU32(&out, stream_id);
+  PutU32(&out, static_cast<uint32_t>(payload.size()));
+  out.append(payload);
+  return out;
+}
+
+Result<std::pair<uint32_t, std::string>> ReadMuxFrame(
+    net::BufferedReader* reader) {
+  std::string head;
+  DAVIX_RETURN_IF_ERROR(reader->ReadExact(&head, kMuxFrameHeaderSize));
+  uint32_t stream_id = GetU32(head.data());
+  uint32_t length = GetU32(head.data() + 4);
+  if (length > kMaxMuxPayload) {
+    return Status::ProtocolError("mux frame too large");
+  }
+  std::string payload;
+  DAVIX_RETURN_IF_ERROR(reader->ReadExact(&payload, length));
+  return std::make_pair(stream_id, std::move(payload));
+}
+
+Result<http::HttpResponse> ParseResponsePayload(std::string payload) {
+  net::StringSource source(std::move(payload));
+  net::BufferedReader reader(&source);
+  DAVIX_ASSIGN_OR_RETURN(http::HttpResponse response,
+                         http::MessageReader::ReadResponseHead(&reader));
+  DAVIX_RETURN_IF_ERROR(
+      http::MessageReader::ReadResponseBody(&reader, false, &response));
+  return response;
+}
+
+Result<http::HttpRequest> ParseRequestPayload(std::string payload) {
+  net::StringSource source(std::move(payload));
+  net::BufferedReader reader(&source);
+  DAVIX_ASSIGN_OR_RETURN(http::HttpRequest request,
+                         http::MessageReader::ReadRequestHead(&reader));
+  DAVIX_RETURN_IF_ERROR(
+      http::MessageReader::ReadRequestBody(&reader, &request));
+  return request;
+}
+
+// ----------------------------------------------------------------- server
+
+MuxServer::MuxServer(MuxServerConfig config,
+                     std::shared_ptr<httpd::Router> router)
+    : config_(std::move(config)), router_(std::move(router)) {}
+
+Result<std::unique_ptr<MuxServer>> MuxServer::Start(
+    MuxServerConfig config, std::shared_ptr<httpd::Router> router) {
+  std::unique_ptr<MuxServer> server(
+      new MuxServer(std::move(config), std::move(router)));
+  DAVIX_ASSIGN_OR_RETURN(server->listener_,
+                         net::TcpListener::Listen(server->config_.port));
+  server->accept_thread_ = std::thread([s = server.get()] { s->AcceptLoop(); });
+  return server;
+}
+
+MuxServer::~MuxServer() { Stop(); }
+
+std::string MuxServer::BaseUrl() const {
+  return "muxhttp://127.0.0.1:" + std::to_string(port());
+}
+
+void MuxServer::Stop() {
+  bool expected = false;
+  bool won = stopping_.compare_exchange_strong(expected, true);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (!won) return;
+  listener_.Close();
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (int fd : active_fds_) ::shutdown(fd, SHUT_RDWR);
+    threads.swap(connection_threads_);
+  }
+  for (std::thread& t : threads) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void MuxServer::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    Result<net::TcpSocket> socket = listener_.Accept(kAcceptPollMicros);
+    if (!socket.ok()) {
+      if (socket.status().IsTimeout()) continue;
+      return;
+    }
+    stats_.connections_accepted.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    connection_threads_.emplace_back(
+        [this, sock = std::move(*socket)]() mutable {
+          HandleConnection(std::move(sock));
+        });
+  }
+}
+
+void MuxServer::HandleConnection(net::TcpSocket socket) {
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    active_fds_.insert(socket.fd());
+  }
+  (void)socket.SetNoDelay(true);
+  netsim::ConnectionShaper shaper(config_.link);
+  std::mutex shaper_mu;
+  std::mutex write_mu;
+  net::BufferedReader reader(&socket, config_.idle_timeout_micros);
+  ThreadPool workers(kWorkersPerConnection);
+
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    Result<std::pair<uint32_t, std::string>> frame = ReadMuxFrame(&reader);
+    if (!frame.ok()) break;
+    stats_.requests_handled.fetch_add(1, std::memory_order_relaxed);
+    uint32_t stream_id = frame->first;
+    int64_t request_bytes =
+        static_cast<int64_t>(kMuxFrameHeaderSize + frame->second.size());
+
+    auto task = [&, stream_id, payload = std::move(frame->second),
+                 request_bytes]() mutable {
+      http::HttpResponse response;
+      Result<http::HttpRequest> request =
+          ParseRequestPayload(std::move(payload));
+      if (request.ok()) {
+        router_->Dispatch(*request, &response);
+      } else {
+        response.status_code = 400;
+        response.body = request.status().ToString() + "\n";
+      }
+      response.headers.Set("Server", "davix-muxhttp/1.0");
+      std::string wire =
+          SerializeMuxFrame(stream_id, response.Serialize());
+      netsim::ConnectionShaper::ExchangePlan plan;
+      {
+        std::lock_guard<std::mutex> lock(shaper_mu);
+        plan = shaper.PlanExchange(request_bytes,
+                                   static_cast<int64_t>(wire.size()));
+      }
+      SleepForMicros(plan.latency_micros);
+      std::lock_guard<std::mutex> lock(write_mu);
+      SleepForMicros(plan.bandwidth_micros);
+      (void)socket.WriteAll(wire);
+    };
+    if (!workers.Submit(std::move(task))) break;
+  }
+  workers.Shutdown();
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    active_fds_.erase(socket.fd());
+  }
+  socket.Close();
+}
+
+// ----------------------------------------------------------------- client
+
+Result<std::unique_ptr<MuxClient>> MuxClient::Connect(
+    const std::string& host, uint16_t port,
+    int64_t operation_timeout_micros) {
+  DAVIX_ASSIGN_OR_RETURN(net::SocketAddress address,
+                         net::SocketAddress::Resolve(host, port));
+  DAVIX_ASSIGN_OR_RETURN(net::TcpSocket socket,
+                         net::TcpSocket::Connect(address));
+  (void)socket.SetNoDelay(true);
+  std::unique_ptr<MuxClient> client(new MuxClient());
+  client->socket_ = std::make_unique<net::TcpSocket>(std::move(socket));
+  client->reader_ = std::make_unique<net::BufferedReader>(
+      client->socket_.get(), operation_timeout_micros);
+  client->alive_.store(true, std::memory_order_relaxed);
+  client->reader_thread_ = std::thread([c = client.get()] { c->ReaderLoop(); });
+  return client;
+}
+
+MuxClient::~MuxClient() {
+  stopping_.store(true, std::memory_order_relaxed);
+  if (socket_ != nullptr && socket_->IsOpen()) {
+    ::shutdown(socket_->fd(), SHUT_RDWR);
+  }
+  if (reader_thread_.joinable()) reader_thread_.join();
+  FailAll(Status::Cancelled("client destroyed"));
+}
+
+void MuxClient::ReaderLoop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    Result<std::pair<uint32_t, std::string>> frame =
+        ReadMuxFrame(reader_.get());
+    if (!frame.ok()) {
+      if (!stopping_.load(std::memory_order_relaxed)) {
+        FailAll(frame.status().WithContext("mux connection lost"));
+      }
+      return;
+    }
+    std::promise<Result<http::HttpResponse>> promise;
+    bool found = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = pending_.find(frame->first);
+      if (it != pending_.end()) {
+        promise = std::move(it->second);
+        pending_.erase(it);
+        found = true;
+      }
+    }
+    if (!found) continue;
+    promise.set_value(ParseResponsePayload(std::move(frame->second)));
+  }
+}
+
+void MuxClient::FailAll(const Status& status) {
+  alive_.store(false, std::memory_order_relaxed);
+  std::unordered_map<uint32_t, std::promise<Result<http::HttpResponse>>>
+      orphans;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    orphans.swap(pending_);
+  }
+  for (auto& [id, promise] : orphans) promise.set_value(status);
+}
+
+std::future<Result<http::HttpResponse>> MuxClient::ExecuteAsync(
+    const http::HttpRequest& request) {
+  std::promise<Result<http::HttpResponse>> failed;
+  if (!alive_.load(std::memory_order_relaxed)) {
+    failed.set_value(Status::ConnectionReset("mux client not connected"));
+    return failed.get_future();
+  }
+  std::future<Result<http::HttpResponse>> future;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    while (pending_.count(next_stream_id_) > 0 || next_stream_id_ == 0) {
+      ++next_stream_id_;
+    }
+    uint32_t stream_id = next_stream_id_++;
+    std::promise<Result<http::HttpResponse>> promise;
+    future = promise.get_future();
+    pending_.emplace(stream_id, std::move(promise));
+    std::string wire = SerializeMuxFrame(stream_id, request.Serialize());
+    Status write_status = socket_->WriteAll(wire);
+    if (!write_status.ok()) {
+      auto it = pending_.find(stream_id);
+      std::promise<Result<http::HttpResponse>> orphan = std::move(it->second);
+      pending_.erase(it);
+      orphan.set_value(write_status.WithContext("mux send"));
+      return future;
+    }
+    requests_sent_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return future;
+}
+
+Result<http::HttpResponse> MuxClient::Execute(
+    const http::HttpRequest& request) {
+  return ExecuteAsync(request).get();
+}
+
+}  // namespace muxhttp
+}  // namespace davix

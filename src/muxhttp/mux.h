@@ -1,0 +1,151 @@
+#ifndef DAVIX_MUXHTTP_MUX_H_
+#define DAVIX_MUXHTTP_MUX_H_
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "http/message.h"
+#include "httpd/router.h"
+#include "net/buffered_reader.h"
+#include "net/tcp_socket.h"
+#include "netsim/link_profile.h"
+
+namespace davix {
+namespace muxhttp {
+
+/// A SPDY-like session layer: full HTTP messages multiplexed as framed
+/// streams over one TCP connection.
+///
+/// §2.2 of the paper evaluates exactly this design ("SPDY acts as a
+/// session layer between HTTP and TCP. It supports multiplexing,
+/// prioritization and header compression") and rejects it for davix
+/// because it requires protocol changes on both ends (and, in real
+/// SPDY, mandatory TLS). This module implements the rejected
+/// alternative so the trade-off — one connection and no head-of-line
+/// blocking, but no compatibility with stock HTTP infrastructure — can
+/// be measured instead of argued.
+///
+/// Wire format per frame: u32 stream_id | u32 payload length | payload,
+/// where the payload is a complete serialised HTTP/1.1 message.
+constexpr size_t kMuxFrameHeaderSize = 8;
+constexpr uint32_t kMaxMuxPayload = 256 * 1024 * 1024;
+
+/// Serialises one frame.
+std::string SerializeMuxFrame(uint32_t stream_id, std::string_view payload);
+
+/// Reads one frame; the payload is returned raw.
+Result<std::pair<uint32_t, std::string>> ReadMuxFrame(
+    net::BufferedReader* reader);
+
+struct MuxServerConfig {
+  uint16_t port = 0;
+  netsim::LinkProfile link = netsim::LinkProfile::Loopback();
+  int64_t idle_timeout_micros = 30'000'000;
+};
+
+struct MuxServerStats {
+  std::atomic<uint64_t> connections_accepted{0};
+  std::atomic<uint64_t> requests_handled{0};
+};
+
+/// Server side: decodes request frames, dispatches them to the same
+/// Router type the plain HTTP server uses (so a DavHandler serves both
+/// protocols), and answers out of order — no head-of-line blocking.
+class MuxServer {
+ public:
+  static Result<std::unique_ptr<MuxServer>> Start(
+      MuxServerConfig config, std::shared_ptr<httpd::Router> router);
+
+  ~MuxServer();
+
+  MuxServer(const MuxServer&) = delete;
+  MuxServer& operator=(const MuxServer&) = delete;
+
+  void Stop();
+  uint16_t port() const { return listener_.port(); }
+  std::string BaseUrl() const;
+  MuxServerStats& stats() { return stats_; }
+
+ private:
+  MuxServer(MuxServerConfig config, std::shared_ptr<httpd::Router> router);
+
+  void AcceptLoop();
+  void HandleConnection(net::TcpSocket socket);
+
+  MuxServerConfig config_;
+  std::shared_ptr<httpd::Router> router_;
+  net::TcpListener listener_;
+  MuxServerStats stats_;
+
+  std::atomic<bool> stopping_{false};
+  std::thread accept_thread_;
+  std::mutex conn_mu_;
+  std::vector<std::thread> connection_threads_;
+  std::set<int> active_fds_;
+};
+
+/// Client side: one connection, any number of outstanding requests.
+/// Execute returns a future resolving when the matching response frame
+/// arrives, in whatever order the server finishes.
+class MuxClient {
+ public:
+  static Result<std::unique_ptr<MuxClient>> Connect(
+      const std::string& host, uint16_t port,
+      int64_t operation_timeout_micros = 120'000'000);
+
+  ~MuxClient();
+
+  MuxClient(const MuxClient&) = delete;
+  MuxClient& operator=(const MuxClient&) = delete;
+
+  /// Sends a request on a fresh stream.
+  std::future<Result<http::HttpResponse>> ExecuteAsync(
+      const http::HttpRequest& request);
+
+  /// Convenience synchronous form.
+  Result<http::HttpResponse> Execute(const http::HttpRequest& request);
+
+  bool IsAlive() const { return alive_.load(std::memory_order_relaxed); }
+  uint64_t requests_sent() const {
+    return requests_sent_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  MuxClient() = default;
+
+  void ReaderLoop();
+  void FailAll(const Status& status);
+
+  std::unique_ptr<net::TcpSocket> socket_;
+  std::unique_ptr<net::BufferedReader> reader_;
+  std::thread reader_thread_;
+  std::atomic<bool> alive_{false};
+  std::atomic<bool> stopping_{false};
+  std::atomic<uint64_t> requests_sent_{0};
+
+  std::mutex mu_;
+  std::unordered_map<uint32_t, std::promise<Result<http::HttpResponse>>>
+      pending_;
+  uint32_t next_stream_id_ = 1;
+};
+
+/// Parses a complete serialised HTTP response held in memory (a mux
+/// frame payload).
+Result<http::HttpResponse> ParseResponsePayload(std::string payload);
+
+/// Parses a complete serialised HTTP request held in memory.
+Result<http::HttpRequest> ParseRequestPayload(std::string payload);
+
+}  // namespace muxhttp
+}  // namespace davix
+
+#endif  // DAVIX_MUXHTTP_MUX_H_

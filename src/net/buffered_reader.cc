@@ -1,0 +1,99 @@
+#include "net/buffered_reader.h"
+
+#include <algorithm>
+
+namespace davix {
+namespace net {
+namespace {
+
+constexpr size_t kReadChunk = 64 * 1024;
+
+}  // namespace
+
+Result<size_t> BufferedReader::Fill() {
+  if (pos_ == buffer_.size()) {
+    buffer_.clear();
+    pos_ = 0;
+  }
+  size_t old_size = buffer_.size();
+  buffer_.resize(old_size + kReadChunk);
+  Result<size_t> n = socket_->Read(buffer_.data() + old_size, kReadChunk,
+                                   timeout_micros_);
+  if (!n.ok()) {
+    buffer_.resize(old_size);
+    return n.status();
+  }
+  buffer_.resize(old_size + *n);
+  return *n;
+}
+
+Result<std::string> BufferedReader::ReadLine(size_t max_len) {
+  std::string line;
+  while (true) {
+    // Scan the buffered region for LF.
+    size_t nl = buffer_.find('\n', pos_);
+    if (nl != std::string::npos) {
+      line.append(buffer_, pos_, nl - pos_);
+      bytes_consumed_ += nl + 1 - pos_;
+      pos_ = nl + 1;
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.size() > max_len) {
+        return Status::ProtocolError("header line too long");
+      }
+      return line;
+    }
+    line.append(buffer_, pos_, buffer_.size() - pos_);
+    bytes_consumed_ += buffer_.size() - pos_;
+    pos_ = buffer_.size();
+    if (line.size() > max_len) {
+      return Status::ProtocolError("header line too long");
+    }
+    DAVIX_ASSIGN_OR_RETURN(size_t n, Fill());
+    if (n == 0) {
+      if (line.empty()) {
+        return Status::ConnectionReset("EOF before line");
+      }
+      return Status::ConnectionReset("EOF inside line");
+    }
+  }
+}
+
+Status BufferedReader::ReadExact(std::string* out, size_t len) {
+  while (len > 0) {
+    size_t avail = buffer_.size() - pos_;
+    if (avail > 0) {
+      size_t take = std::min(avail, len);
+      out->append(buffer_, pos_, take);
+      pos_ += take;
+      bytes_consumed_ += take;
+      len -= take;
+      continue;
+    }
+    DAVIX_ASSIGN_OR_RETURN(size_t n, Fill());
+    if (n == 0) {
+      return Status::ConnectionReset("EOF inside body (" +
+                                     std::to_string(len) + " bytes missing)");
+    }
+  }
+  return Status::OK();
+}
+
+Status BufferedReader::ReadToEof(std::string* out) {
+  while (true) {
+    size_t avail = buffer_.size() - pos_;
+    if (avail > 0) {
+      out->append(buffer_, pos_, avail);
+      bytes_consumed_ += avail;
+      pos_ = buffer_.size();
+    }
+    Result<size_t> n = Fill();
+    if (!n.ok()) {
+      // Treat reset after some data as EOF for read-to-end semantics.
+      return Status::OK();
+    }
+    if (*n == 0) return Status::OK();
+  }
+}
+
+}  // namespace net
+}  // namespace davix

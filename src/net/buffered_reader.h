@@ -1,0 +1,65 @@
+#ifndef DAVIX_NET_BUFFERED_READER_H_
+#define DAVIX_NET_BUFFERED_READER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "net/byte_source.h"
+
+namespace davix {
+namespace net {
+
+/// Buffered reads over any ByteSource (TCP socket, in-memory buffer):
+/// CRLF-terminated lines for protocol headers, exact-length reads for
+/// bodies. Does not own the source.
+class BufferedReader {
+ public:
+  /// `source` must outlive this reader. `timeout_micros` applies to each
+  /// underlying read (0 = wait forever).
+  explicit BufferedReader(ByteSource* source, int64_t timeout_micros = 0)
+      : socket_(source), timeout_micros_(timeout_micros) {}
+
+  BufferedReader(const BufferedReader&) = delete;
+  BufferedReader& operator=(const BufferedReader&) = delete;
+
+  /// Reads one line terminated by "\r\n" (tolerates bare "\n"); the
+  /// terminator is stripped. Returns kConnectionReset on EOF before any
+  /// byte of the line, kProtocolError if the line exceeds `max_len`.
+  Result<std::string> ReadLine(size_t max_len = 64 * 1024);
+
+  /// Reads exactly `len` bytes into `out` (appended). Fails with
+  /// kConnectionReset on premature EOF.
+  Status ReadExact(std::string* out, size_t len);
+
+  /// Reads until EOF, appending to `out`.
+  Status ReadToEof(std::string* out);
+
+  /// True when buffered bytes are available (no syscall).
+  bool HasBuffered() const { return pos_ < buffer_.size(); }
+
+  /// Checks whether the connection is still delivering data: attempts a
+  /// non-destructive buffered read. Used by the session pool to discard
+  /// half-closed pooled connections.
+  void set_timeout_micros(int64_t timeout_micros) {
+    timeout_micros_ = timeout_micros;
+  }
+  int64_t timeout_micros() const { return timeout_micros_; }
+
+  uint64_t bytes_consumed() const { return bytes_consumed_; }
+
+ private:
+  /// Refills the internal buffer; returns number of new bytes (0 on EOF).
+  Result<size_t> Fill();
+
+  ByteSource* socket_;
+  int64_t timeout_micros_;
+  std::string buffer_;
+  size_t pos_ = 0;
+  uint64_t bytes_consumed_ = 0;
+};
+
+}  // namespace net
+}  // namespace davix
+
+#endif  // DAVIX_NET_BUFFERED_READER_H_

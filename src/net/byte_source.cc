@@ -1,0 +1,18 @@
+#include "net/byte_source.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace davix {
+namespace net {
+
+Result<size_t> StringSource::Read(char* buf, size_t len,
+                                  int64_t /*timeout_micros*/) {
+  size_t take = std::min(len, data_.size() - pos_);
+  std::memcpy(buf, data_.data() + pos_, take);
+  pos_ += take;
+  return take;
+}
+
+}  // namespace net
+}  // namespace davix

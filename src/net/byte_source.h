@@ -1,0 +1,44 @@
+#ifndef DAVIX_NET_BYTE_SOURCE_H_
+#define DAVIX_NET_BYTE_SOURCE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace davix {
+namespace net {
+
+/// Anything BufferedReader can read from: a TCP socket, or an in-memory
+/// buffer (frame payloads, tests).
+class ByteSource {
+ public:
+  virtual ~ByteSource() = default;
+
+  /// Reads up to `len` bytes. Returns 0 on end of stream.
+  virtual Result<size_t> Read(char* buf, size_t len,
+                              int64_t timeout_micros) = 0;
+};
+
+/// ByteSource over an owned string: lets the HTTP message parsers run on
+/// already-received bytes (e.g. a multiplexing frame's payload).
+class StringSource : public ByteSource {
+ public:
+  explicit StringSource(std::string data) : data_(std::move(data)) {}
+
+  Result<size_t> Read(char* buf, size_t len,
+                      int64_t timeout_micros) override;
+
+  /// Bytes not yet consumed.
+  size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  std::string data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace net
+}  // namespace davix
+
+#endif  // DAVIX_NET_BYTE_SOURCE_H_

@@ -1,0 +1,46 @@
+#include "net/socket_address.h"
+
+#include <arpa/inet.h>
+
+#include <cstring>
+
+#include "common/string_util.h"
+
+namespace davix {
+namespace net {
+
+Result<SocketAddress> SocketAddress::Resolve(std::string_view host,
+                                             uint16_t port) {
+  SocketAddress out;
+  out.addr_.sin_family = AF_INET;
+  out.addr_.sin_port = htons(port);
+  std::string host_str(host);
+  if (EqualsIgnoreCase(host_str, "localhost") || host_str.empty()) {
+    host_str = "127.0.0.1";
+  }
+  if (inet_pton(AF_INET, host_str.c_str(), &out.addr_.sin_addr) != 1) {
+    return Status::ConnectionFailed("cannot resolve host: " + host_str);
+  }
+  return out;
+}
+
+SocketAddress SocketAddress::FromSockaddr(const sockaddr_in& addr) {
+  SocketAddress out;
+  out.addr_ = addr;
+  return out;
+}
+
+uint16_t SocketAddress::port() const { return ntohs(addr_.sin_port); }
+
+std::string SocketAddress::ip() const {
+  char buf[INET_ADDRSTRLEN] = {};
+  inet_ntop(AF_INET, &addr_.sin_addr, buf, sizeof(buf));
+  return buf;
+}
+
+std::string SocketAddress::ToString() const {
+  return ip() + ":" + std::to_string(port());
+}
+
+}  // namespace net
+}  // namespace davix

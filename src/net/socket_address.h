@@ -1,0 +1,40 @@
+#ifndef DAVIX_NET_SOCKET_ADDRESS_H_
+#define DAVIX_NET_SOCKET_ADDRESS_H_
+
+#include <netinet/in.h>
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace davix {
+namespace net {
+
+/// An IPv4 endpoint. Resolution is deliberately minimal: numeric dotted
+/// quads plus "localhost"; every host in this repository's simulated grid
+/// lives on loopback.
+class SocketAddress {
+ public:
+  SocketAddress() = default;
+
+  /// Resolves `host` ("127.0.0.1", "localhost") and `port`.
+  static Result<SocketAddress> Resolve(std::string_view host, uint16_t port);
+
+  /// Builds from a kernel-provided sockaddr (accept/getsockname).
+  static SocketAddress FromSockaddr(const sockaddr_in& addr);
+
+  const sockaddr_in& raw() const { return addr_; }
+  uint16_t port() const;
+  std::string ip() const;
+  std::string ToString() const;
+
+ private:
+  sockaddr_in addr_ = {};
+};
+
+}  // namespace net
+}  // namespace davix
+
+#endif  // DAVIX_NET_SOCKET_ADDRESS_H_

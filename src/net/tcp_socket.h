@@ -1,0 +1,92 @@
+#ifndef DAVIX_NET_TCP_SOCKET_H_
+#define DAVIX_NET_TCP_SOCKET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "net/byte_source.h"
+#include "net/socket_address.h"
+
+namespace davix {
+namespace net {
+
+/// RAII TCP connection. Move-only; the destructor closes the fd.
+///
+/// All operations are blocking with optional deadlines implemented via
+/// poll(2). A read timeout of 0 means "wait forever".
+class TcpSocket : public ByteSource {
+ public:
+  TcpSocket() = default;
+  explicit TcpSocket(int fd) : fd_(fd) {}
+  ~TcpSocket() override;
+
+  TcpSocket(TcpSocket&& other) noexcept;
+  TcpSocket& operator=(TcpSocket&& other) noexcept;
+  TcpSocket(const TcpSocket&) = delete;
+  TcpSocket& operator=(const TcpSocket&) = delete;
+
+  /// Connects to `address` within `timeout_micros` (0 = default 30 s).
+  static Result<TcpSocket> Connect(const SocketAddress& address,
+                                   int64_t timeout_micros = 0);
+
+  bool IsOpen() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  /// Reads up to `len` bytes. Returns 0 on orderly peer shutdown.
+  Result<size_t> Read(char* buf, size_t len,
+                      int64_t timeout_micros = 0) override;
+
+  /// Writes the whole buffer or fails.
+  Status WriteAll(std::string_view data, int64_t timeout_micros = 0);
+
+  /// Disables Nagle's algorithm. The paper (§2.2) notes HTTP pipelining
+  /// interacts badly with Nagle; both our client and server disable it.
+  Status SetNoDelay(bool enabled);
+
+  /// Half-closes the write side (signals EOF to the peer).
+  void ShutdownWrite();
+
+  void Close();
+
+  /// Local endpoint of a connected/bound socket.
+  Result<SocketAddress> LocalAddress() const;
+
+ private:
+  int fd_ = -1;
+};
+
+/// Listening socket. Bind to port 0 to get an ephemeral port, then read it
+/// back with `port()` — how the in-process test servers are wired up.
+class TcpListener {
+ public:
+  TcpListener() = default;
+  ~TcpListener();
+
+  TcpListener(TcpListener&& other) noexcept;
+  TcpListener& operator=(TcpListener&& other) noexcept;
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  /// Binds and listens on 127.0.0.1:`port`.
+  static Result<TcpListener> Listen(uint16_t port, int backlog = 64);
+
+  /// Accepts one connection. Blocks up to `timeout_micros` (0 = forever);
+  /// times out with kTimeout so accept loops can poll a stop flag.
+  Result<TcpSocket> Accept(int64_t timeout_micros = 0);
+
+  uint16_t port() const { return port_; }
+  bool IsOpen() const { return fd_ >= 0; }
+  void Close();
+
+ private:
+  int fd_ = -1;
+  uint16_t port_ = 0;
+};
+
+}  // namespace net
+}  // namespace davix
+
+#endif  // DAVIX_NET_TCP_SOCKET_H_

@@ -1,0 +1,58 @@
+#include "netsim/fault_injector.h"
+
+#include "common/string_util.h"
+
+namespace davix {
+namespace netsim {
+
+void FaultInjector::AddRule(FaultRule rule) {
+  std::lock_guard<std::mutex> lock(mu_);
+  rules_.push_back(std::move(rule));
+  hits_.push_back(0);
+}
+
+void FaultInjector::SetServerDown(bool down) {
+  std::lock_guard<std::mutex> lock(mu_);
+  server_down_ = down;
+}
+
+bool FaultInjector::server_down() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return server_down_;
+}
+
+FaultRule FaultInjector::Decide(std::string_view path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (server_down_) {
+    FaultRule down;
+    down.action = FaultAction::kRefuseConnection;
+    ++faults_fired_;
+    return down;
+  }
+  for (size_t i = 0; i < rules_.size(); ++i) {
+    FaultRule& rule = rules_[i];
+    if (rule.action == FaultAction::kNone) continue;
+    if (!StartsWith(path, rule.path_prefix)) continue;
+    if (rule.max_hits >= 0 && hits_[i] >= rule.max_hits) continue;
+    if (rule.probability < 1.0 && !rng_.Chance(rule.probability)) continue;
+    ++hits_[i];
+    ++faults_fired_;
+    return rule;
+  }
+  return FaultRule{};
+}
+
+void FaultInjector::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  rules_.clear();
+  hits_.clear();
+  server_down_ = false;
+}
+
+int64_t FaultInjector::faults_fired() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return faults_fired_;
+}
+
+}  // namespace netsim
+}  // namespace davix

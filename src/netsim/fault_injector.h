@@ -1,0 +1,81 @@
+#ifndef DAVIX_NETSIM_FAULT_INJECTOR_H_
+#define DAVIX_NETSIM_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace davix {
+namespace netsim {
+
+/// What the server should do to a matching request.
+enum class FaultAction {
+  kNone,
+  /// Close the connection without answering (models an offline server /
+  /// connection refused for the purposes of the client).
+  kRefuseConnection,
+  /// Answer 503 Service Unavailable.
+  kServerError,
+  /// Send the response headers but truncate the body halfway, then close.
+  kTruncateBody,
+  /// Stall for the configured delay, then close without answering
+  /// (client-visible as a timeout).
+  kStall,
+};
+
+/// One fault rule: requests whose path starts with `path_prefix` suffer
+/// `action` with probability `probability`, for at most `max_hits`
+/// occurrences (-1 = unlimited).
+struct FaultRule {
+  std::string path_prefix;
+  FaultAction action = FaultAction::kNone;
+  double probability = 1.0;
+  int64_t max_hits = -1;
+  /// Used by kStall.
+  int64_t stall_micros = 0;
+};
+
+/// Deterministic failure injection for the embedded servers.
+///
+/// The paper's resilience machinery (§2.4: Metalink fail-over) is
+/// exercised by declaring replicas down or flaky through this class. All
+/// randomness is seeded, so tests and benchmarks are reproducible.
+class FaultInjector {
+ public:
+  explicit FaultInjector(uint64_t seed = 1) : rng_(seed) {}
+
+  /// Adds a rule. Rules are evaluated in insertion order; the first match
+  /// that fires wins.
+  void AddRule(FaultRule rule);
+
+  /// Marks the whole server down (every request refused) or back up.
+  void SetServerDown(bool down);
+  bool server_down() const;
+
+  /// Decides the fate of a request for `path`. Thread-safe; advances rule
+  /// hit counters and the RNG.
+  FaultRule Decide(std::string_view path);
+
+  /// Removes all rules (server_down flag included).
+  void Clear();
+
+  /// Total number of faults that have fired.
+  int64_t faults_fired() const;
+
+ private:
+  mutable std::mutex mu_;
+  Rng rng_;
+  std::vector<FaultRule> rules_;
+  std::vector<int64_t> hits_;
+  bool server_down_ = false;
+  int64_t faults_fired_ = 0;
+};
+
+}  // namespace netsim
+}  // namespace davix
+
+#endif  // DAVIX_NETSIM_FAULT_INJECTOR_H_

@@ -1,0 +1,57 @@
+#include "netsim/link_profile.h"
+
+#include <algorithm>
+
+namespace davix {
+namespace netsim {
+namespace {
+
+// 1 Gbit/s expressed in bytes/second, matching the paper's server link.
+constexpr int64_t kGigabitBytesPerSec = 125LL * 1000 * 1000;
+
+}  // namespace
+
+LinkProfile LinkProfile::Loopback() {
+  LinkProfile p;
+  p.name = "loopback";
+  p.rtt_micros = 0;
+  p.bandwidth_bytes_per_sec = 0;
+  return p;
+}
+
+LinkProfile LinkProfile::Lan() {
+  LinkProfile p;
+  p.name = "LAN";
+  p.rtt_micros = 2'000;
+  p.bandwidth_bytes_per_sec = kGigabitBytesPerSec;
+  return p;
+}
+
+LinkProfile LinkProfile::PanEuropean() {
+  LinkProfile p;
+  p.name = "PAN";
+  p.rtt_micros = 16'000;
+  p.bandwidth_bytes_per_sec = kGigabitBytesPerSec;
+  return p;
+}
+
+LinkProfile LinkProfile::Wan() {
+  LinkProfile p;
+  p.name = "WAN";
+  p.rtt_micros = 96'000;
+  p.bandwidth_bytes_per_sec = kGigabitBytesPerSec;
+  return p;
+}
+
+int64_t LinkProfile::SteadyStateThroughput() const {
+  int64_t window_limited = 0;
+  if (rtt_micros > 0) {
+    window_limited = max_cwnd_bytes * 1'000'000 / rtt_micros;
+  }
+  if (bandwidth_bytes_per_sec == 0) return window_limited;
+  if (window_limited == 0) return bandwidth_bytes_per_sec;
+  return std::min(bandwidth_bytes_per_sec, window_limited);
+}
+
+}  // namespace netsim
+}  // namespace davix

@@ -1,0 +1,69 @@
+#ifndef DAVIX_NETSIM_LINK_PROFILE_H_
+#define DAVIX_NETSIM_LINK_PROFILE_H_
+
+#include <cstdint>
+#include <string>
+
+namespace davix {
+namespace netsim {
+
+/// Parameters of a simulated network path between a client and a server.
+///
+/// The paper evaluates davix over three real network classes (§3):
+///   LAN          gigabit Ethernet,  RTT <   5 ms
+///   PAN-European GEANT CH <-> UK,   RTT <  50 ms
+///   WAN          CH <-> USA (BNL),  RTT < 300 ms
+///
+/// This repository reproduces those classes on loopback by injecting delay
+/// server-side. RTTs are scaled down ~3x (LAN 2 ms, PAN 16 ms, WAN 96 ms)
+/// so that a full Figure-4 run finishes in seconds; the scaling is uniform,
+/// which preserves the relative shape of the results (see DESIGN.md).
+struct LinkProfile {
+  /// Human-readable name printed by benchmarks ("LAN", "WAN", ...).
+  std::string name = "loopback";
+
+  /// Round-trip time of the path, in microseconds. 0 disables shaping.
+  int64_t rtt_micros = 0;
+
+  /// Link capacity in bytes/second. 0 means unlimited.
+  int64_t bandwidth_bytes_per_sec = 0;
+
+  /// Initial TCP congestion window (RFC 6928's IW10 for a 1460-byte MSS).
+  /// Fresh connections start here: the cost the paper attributes to
+  /// "the TCP slow start mechanism" for one-connection-per-request HTTP.
+  int64_t init_cwnd_bytes = 10 * 1460;
+
+  /// Upper bound on the congestion window (models the TCP buffer /
+  /// receive-window limit of mid-2010s stock kernels). Per-connection
+  /// throughput on long fat paths is capped near max_cwnd / rtt — ~10 MB/s
+  /// on the WAN profile — which is what makes XRootD's sliding-window
+  /// read-ahead and multi-stream downloads profitable on WAN but
+  /// irrelevant on LAN.
+  int64_t max_cwnd_bytes = 1024 * 1024;
+
+  /// Extra round trips consumed by connection establishment (TCP
+  /// three-way handshake = 1; a TLS handshake would add more, which is the
+  /// paper's §2.2 argument against SPDY's mandatory TLS).
+  int64_t connect_handshake_rtts = 1;
+
+  /// No shaping at all: plain loopback.
+  static LinkProfile Loopback();
+  /// Gigabit LAN, 2 ms RTT (paper: CERN <-> CERN, < 5 ms).
+  static LinkProfile Lan();
+  /// PAN-European link, 16 ms RTT (paper: CERN <-> UK over GEANT, < 50 ms).
+  static LinkProfile PanEuropean();
+  /// Transatlantic WAN, 96 ms RTT (paper: CERN <-> BNL, < 300 ms).
+  static LinkProfile Wan();
+
+  /// Steady-state throughput of one connection on this path, bytes/sec:
+  /// min(bandwidth, max_cwnd / rtt). Returns 0 when unlimited.
+  int64_t SteadyStateThroughput() const;
+
+  /// True when this profile injects no delay at all.
+  bool IsNullLink() const { return rtt_micros == 0 && bandwidth_bytes_per_sec == 0; }
+};
+
+}  // namespace netsim
+}  // namespace davix
+
+#endif  // DAVIX_NETSIM_LINK_PROFILE_H_

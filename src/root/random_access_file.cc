@@ -1,0 +1,49 @@
+#include "root/random_access_file.h"
+
+#include <algorithm>
+
+namespace davix {
+namespace root {
+namespace {
+
+/// Already-completed token wrapping a synchronous result.
+class CompletedVecRead : public PendingVecRead {
+ public:
+  explicit CompletedVecRead(Result<std::vector<std::string>> result)
+      : result_(std::move(result)) {}
+
+  Result<std::vector<std::string>> Wait() override {
+    return std::move(result_);
+  }
+
+ private:
+  Result<std::vector<std::string>> result_;
+};
+
+}  // namespace
+
+Result<std::vector<std::string>> RandomAccessFile::PReadVec(
+    const std::vector<http::ByteRange>& ranges) {
+  std::vector<std::string> out;
+  out.reserve(ranges.size());
+  for (const http::ByteRange& r : ranges) {
+    DAVIX_ASSIGN_OR_RETURN(std::string data, PRead(r.offset, r.length));
+    out.push_back(std::move(data));
+  }
+  return out;
+}
+
+std::unique_ptr<PendingVecRead> RandomAccessFile::PReadVecAsync(
+    const std::vector<http::ByteRange>& ranges) {
+  return std::make_unique<CompletedVecRead>(PReadVec(ranges));
+}
+
+Result<std::string> MemoryFile::PRead(uint64_t offset, uint64_t length) {
+  ++reads_;
+  if (offset >= data_.size()) return std::string();
+  return data_.substr(offset, std::min<uint64_t>(length,
+                                                 data_.size() - offset));
+}
+
+}  // namespace root
+}  // namespace davix

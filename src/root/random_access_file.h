@@ -1,0 +1,75 @@
+#ifndef DAVIX_ROOT_RANDOM_ACCESS_FILE_H_
+#define DAVIX_ROOT_RANDOM_ACCESS_FILE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "http/range.h"
+
+namespace davix {
+namespace root {
+
+/// Completion token of an asynchronous vectored read.
+class PendingVecRead {
+ public:
+  virtual ~PendingVecRead() = default;
+  /// Blocks until the read completes; results[i] holds ranges[i]'s bytes.
+  virtual Result<std::vector<std::string>> Wait() = 0;
+};
+
+/// Transport abstraction the analysis layer reads through — the role
+/// ROOT's TFile plugin interface (TDavixFile, TXNetFile) plays in the
+/// paper. Implementations exist for local buffers, davix (HTTP) and the
+/// xrootd-like protocol.
+class RandomAccessFile {
+ public:
+  virtual ~RandomAccessFile() = default;
+
+  /// Total size in bytes.
+  virtual uint64_t Size() const = 0;
+
+  /// Reads `length` bytes at `offset` (short only at EOF).
+  virtual Result<std::string> PRead(uint64_t offset, uint64_t length) = 0;
+
+  /// Vectored read; the default loops over PRead (one round trip per
+  /// range — what a naive HTTP client does). Real transports override
+  /// this with their packed form (§2.3 multi-range / kReadVector).
+  virtual Result<std::vector<std::string>> PReadVec(
+      const std::vector<http::ByteRange>& ranges);
+
+  /// Whether PReadVecAsync overlaps with the caller (true asynchrony).
+  /// The davix adapter reports false: the paper's davix executes vector
+  /// queries synchronously, while XRootD's multiplexing makes them
+  /// overlappable — the WAN difference in Figure 4.
+  virtual bool SupportsAsyncVec() const { return false; }
+
+  /// Starts a vectored read. The default implementation performs the
+  /// read synchronously and returns an already-completed token.
+  virtual std::unique_ptr<PendingVecRead> PReadVecAsync(
+      const std::vector<http::ByteRange>& ranges);
+};
+
+/// RandomAccessFile over an in-memory buffer: the "local file" baseline
+/// and the reference for end-to-end equivalence tests.
+class MemoryFile : public RandomAccessFile {
+ public:
+  explicit MemoryFile(std::string data) : data_(std::move(data)) {}
+
+  uint64_t Size() const override { return data_.size(); }
+  Result<std::string> PRead(uint64_t offset, uint64_t length) override;
+
+  /// Reads performed (for I/O accounting in tests).
+  uint64_t reads() const { return reads_; }
+
+ private:
+  std::string data_;
+  uint64_t reads_ = 0;
+};
+
+}  // namespace root
+}  // namespace davix
+
+#endif  // DAVIX_ROOT_RANDOM_ACCESS_FILE_H_

@@ -1,0 +1,187 @@
+#include "root/tree_cache.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/clock.h"
+
+namespace davix {
+namespace root {
+
+TreeCache::TreeCache(TreeReader* reader, std::vector<size_t> active_branches,
+                     TreeCacheConfig config)
+    : reader_(reader),
+      active_branches_(std::move(active_branches)),
+      config_(config) {
+  if (active_branches_.empty()) {
+    active_branches_.resize(reader_->spec().branches.size());
+    std::iota(active_branches_.begin(), active_branches_.end(), 0);
+  }
+  if (config_.cluster_rows == 0) config_.cluster_rows = 1;
+}
+
+void TreeCache::PlanCluster(
+    uint64_t first_row, uint64_t byte_budget,
+    std::vector<std::pair<size_t, uint64_t>>* keys,
+    std::vector<http::ByteRange>* ranges) const {
+  const TreeIndex& index = reader_->index();
+  uint64_t n_rows = index.spec.BasketCountPerBranch();
+  uint64_t last_row =
+      std::min<uint64_t>(first_row + config_.cluster_rows, n_rows);
+  // File-offset order = row-major over the cluster-major layout.
+  uint64_t budget_used = 0;
+  for (uint64_t row = first_row; row < last_row; ++row) {
+    for (size_t branch : active_branches_) {
+      const BasketInfo& info = index.baskets[branch][row];
+      if (byte_budget > 0 && budget_used + info.stored_length > byte_budget &&
+          !keys->empty()) {
+        return;  // window budget exhausted
+      }
+      budget_used += info.stored_length;
+      keys->emplace_back(branch, row);
+      ranges->push_back(http::ByteRange{info.offset, info.stored_length});
+    }
+  }
+}
+
+Status TreeCache::LoadCluster(uint64_t row) {
+  uint64_t first_row = ClusterOf(row) * config_.cluster_rows;
+  auto cluster = std::make_unique<Cluster>();
+  cluster->first_row = first_row;
+
+  std::vector<std::pair<size_t, uint64_t>> have_keys;
+  // Use the async prefetch if it targeted this cluster.
+  if (prefetch_ != nullptr && prefetch_->first_row == first_row) {
+    Prefetch prefetch = std::move(*prefetch_);
+    prefetch_.reset();
+    Result<std::vector<std::string>> data = prefetch.pending->Wait();
+    if (data.ok()) {
+      ++stats_.async_prefetches;
+      for (size_t i = 0; i < prefetch.keys.size(); ++i) {
+        stats_.bytes_fetched += (*data)[i].size();
+        cluster->blobs[prefetch.keys[i]] = std::move((*data)[i]);
+      }
+      have_keys = std::move(prefetch.keys);
+    }
+    // On prefetch failure fall through: the synchronous read below
+    // fetches everything.
+  } else if (prefetch_ != nullptr) {
+    // Stale prefetch (seek / fraction boundary): discard its data.
+    prefetch_->pending->Wait();
+    prefetch_.reset();
+  }
+
+  // Fetch whatever the prefetch did not cover, synchronously.
+  std::vector<std::pair<size_t, uint64_t>> keys;
+  std::vector<http::ByteRange> ranges;
+  PlanCluster(first_row, 0, &keys, &ranges);
+  std::vector<std::pair<size_t, uint64_t>> missing_keys;
+  std::vector<http::ByteRange> missing_ranges;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    if (std::find(have_keys.begin(), have_keys.end(), keys[i]) ==
+        have_keys.end()) {
+      missing_keys.push_back(keys[i]);
+      missing_ranges.push_back(ranges[i]);
+    }
+  }
+  if (!missing_ranges.empty()) {
+    ++stats_.vector_reads;
+    stats_.ranges_requested += missing_ranges.size();
+    int64_t fetch_start = MonotonicMicros();
+    DAVIX_ASSIGN_OR_RETURN(std::vector<std::string> data,
+                           reader_->file()->PReadVec(missing_ranges));
+    int64_t fetch_micros = MonotonicMicros() - fetch_start;
+    // Adaptive readahead: a whole-cluster synchronous fetch slower than
+    // the threshold marks this as a high-latency path worth prefetching.
+    if (have_keys.empty() &&
+        fetch_micros > config_.prefetch_latency_threshold_micros) {
+      high_latency_path_ = true;
+    }
+    for (size_t i = 0; i < missing_keys.size(); ++i) {
+      stats_.bytes_fetched += data[i].size();
+      cluster->blobs[missing_keys[i]] = std::move(data[i]);
+    }
+  }
+  ++stats_.clusters_fetched;
+  cluster_ = std::move(cluster);
+
+  // Kick off the overlapped prefetch of (a window of) the next cluster.
+  bool engage = config_.prefetch_latency_threshold_micros == 0 ||
+                high_latency_path_;
+  if (engage && config_.async_prefetch &&
+      reader_->file()->SupportsAsyncVec()) {
+    uint64_t next_first = first_row + config_.cluster_rows;
+    if (next_first < reader_->spec().BasketCountPerBranch()) {
+      auto prefetch = std::make_unique<Prefetch>();
+      prefetch->first_row = next_first;
+      PlanCluster(next_first, config_.prefetch_window_bytes, &prefetch->keys,
+                  &prefetch->ranges);
+      if (!prefetch->keys.empty()) {
+        ++stats_.vector_reads;
+        stats_.ranges_requested += prefetch->ranges.size();
+        prefetch->pending =
+            reader_->file()->PReadVecAsync(prefetch->ranges);
+        prefetch_ = std::move(prefetch);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::shared_ptr<const std::string>> TreeCache::GetBasket(
+    size_t branch, uint64_t row) {
+  const TreeIndex& index = reader_->index();
+  if (branch >= index.baskets.size() ||
+      row >= index.spec.BasketCountPerBranch()) {
+    return Status::InvalidArgument("basket (" + std::to_string(branch) + "," +
+                                   std::to_string(row) + ") out of range");
+  }
+
+  if (!config_.enabled) {
+    // Naive mode (TTree without TTreeCache): one remote read per basket,
+    // keeping only the current basket of each branch.
+    auto last = last_basket_.find(branch);
+    if (last != last_basket_.end() && last->second.first == row) {
+      return last->second.second;
+    }
+    const BasketInfo& info = index.baskets[branch][row];
+    ++stats_.single_reads;
+    DAVIX_ASSIGN_OR_RETURN(std::string blob,
+                           reader_->file()->PRead(info.offset,
+                                                  info.stored_length));
+    stats_.bytes_fetched += blob.size();
+    DAVIX_ASSIGN_OR_RETURN(std::string decoded,
+                           TreeReader::DecodeBasket(blob));
+    auto shared = std::make_shared<const std::string>(std::move(decoded));
+    last_basket_[branch] = {row, shared};
+    return shared;
+  }
+
+  std::pair<size_t, uint64_t> key(branch, row);
+  if (cluster_ == nullptr || ClusterOf(row) != ClusterOf(cluster_->first_row)) {
+    DAVIX_RETURN_IF_ERROR(LoadCluster(row));
+  }
+  auto decoded_it = cluster_->decoded.find(key);
+  if (decoded_it != cluster_->decoded.end()) return decoded_it->second;
+
+  auto blob_it = cluster_->blobs.find(key);
+  if (blob_it == cluster_->blobs.end()) {
+    // Branch not in the active set (mis-declared access pattern): fall
+    // back to a single read, like TTreeCache does on a cache miss.
+    const BasketInfo& info = index.baskets[branch][row];
+    ++stats_.single_reads;
+    DAVIX_ASSIGN_OR_RETURN(std::string blob,
+                           reader_->file()->PRead(info.offset,
+                                                  info.stored_length));
+    stats_.bytes_fetched += blob.size();
+    blob_it = cluster_->blobs.emplace(key, std::move(blob)).first;
+  }
+  DAVIX_ASSIGN_OR_RETURN(std::string decoded,
+                         TreeReader::DecodeBasket(blob_it->second));
+  auto shared = std::make_shared<const std::string>(std::move(decoded));
+  cluster_->decoded[key] = shared;
+  return shared;
+}
+
+}  // namespace root
+}  // namespace davix

@@ -1,0 +1,30 @@
+#include "root/tree_reader.h"
+
+namespace davix {
+namespace root {
+
+Result<TreeReader> TreeReader::Open(RandomAccessFile* file) {
+  DAVIX_ASSIGN_OR_RETURN(std::string header,
+                         file->PRead(0, kTreeHeaderSize));
+  DAVIX_ASSIGN_OR_RETURN(uint64_t region, TreeIndexRegionSize(header));
+  if (region > file->Size()) {
+    return Status::Corruption("tree index region exceeds file size");
+  }
+  DAVIX_ASSIGN_OR_RETURN(std::string head, file->PRead(0, region));
+  DAVIX_ASSIGN_OR_RETURN(TreeIndex index, ParseTreeIndex(head));
+  return TreeReader(file, std::move(index));
+}
+
+Result<size_t> TreeReader::BranchIndex(const std::string& name) const {
+  for (size_t i = 0; i < index_.spec.branches.size(); ++i) {
+    if (index_.spec.branches[i].name == name) return i;
+  }
+  return Status::NotFound("no branch named " + name);
+}
+
+Result<std::string> TreeReader::DecodeBasket(std::string_view blob) {
+  return compress::Decompress(blob);
+}
+
+}  // namespace root
+}  // namespace davix

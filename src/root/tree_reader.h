@@ -1,0 +1,42 @@
+#ifndef DAVIX_ROOT_TREE_READER_H_
+#define DAVIX_ROOT_TREE_READER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "root/random_access_file.h"
+#include "root/tree_format.h"
+
+namespace davix {
+namespace root {
+
+/// Opens a tree file over any transport and exposes its index — the
+/// TTree-metadata role. Basket *data* fetching is TreeCache's job.
+class TreeReader {
+ public:
+  /// Reads and parses the header + basket index (two small reads).
+  /// `file` must outlive the reader.
+  static Result<TreeReader> Open(RandomAccessFile* file);
+
+  const TreeIndex& index() const { return index_; }
+  const TreeSpec& spec() const { return index_.spec; }
+  RandomAccessFile* file() { return file_; }
+
+  /// Branch position by name.
+  Result<size_t> BranchIndex(const std::string& name) const;
+
+  /// Decompresses a fetched basket blob (frame from compress::Compress).
+  static Result<std::string> DecodeBasket(std::string_view blob);
+
+ private:
+  TreeReader(RandomAccessFile* file, TreeIndex index)
+      : file_(file), index_(std::move(index)) {}
+
+  RandomAccessFile* file_;
+  TreeIndex index_;
+};
+
+}  // namespace root
+}  // namespace davix
+
+#endif  // DAVIX_ROOT_TREE_READER_H_

@@ -1,0 +1,371 @@
+#include "xml/xml.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace davix {
+namespace xml {
+namespace {
+
+/// Strips a namespace prefix: "ml:url" -> "url".
+std::string_view LocalName(std::string_view name) {
+  size_t colon = name.find(':');
+  return colon == std::string_view::npos ? name : name.substr(colon + 1);
+}
+
+/// Decodes the five predefined entities plus numeric character refs
+/// (ASCII range only).
+Result<std::string> UnescapeXml(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (c != '&') {
+      out.push_back(c);
+      continue;
+    }
+    size_t semi = text.find(';', i + 1);
+    if (semi == std::string_view::npos || semi - i > 12) {
+      return Status::ProtocolError("unterminated XML entity");
+    }
+    std::string_view entity = text.substr(i + 1, semi - i - 1);
+    if (entity == "amp") {
+      out.push_back('&');
+    } else if (entity == "lt") {
+      out.push_back('<');
+    } else if (entity == "gt") {
+      out.push_back('>');
+    } else if (entity == "quot") {
+      out.push_back('"');
+    } else if (entity == "apos") {
+      out.push_back('\'');
+    } else if (!entity.empty() && entity[0] == '#') {
+      std::string_view num = entity.substr(1);
+      uint64_t value = 0;
+      if (!num.empty() && (num[0] == 'x' || num[0] == 'X')) {
+        for (char h : num.substr(1)) {
+          int d;
+          if (h >= '0' && h <= '9') {
+            d = h - '0';
+          } else if (h >= 'a' && h <= 'f') {
+            d = h - 'a' + 10;
+          } else if (h >= 'A' && h <= 'F') {
+            d = h - 'A' + 10;
+          } else {
+            return Status::ProtocolError("bad numeric entity");
+          }
+          value = value * 16 + static_cast<uint64_t>(d);
+        }
+      } else {
+        std::optional<uint64_t> v = ParseUint64(num);
+        if (!v) return Status::ProtocolError("bad numeric entity");
+        value = *v;
+      }
+      if (value == 0 || value > 127) {
+        return Status::ProtocolError("numeric entity outside ASCII");
+      }
+      out.push_back(static_cast<char>(value));
+    } else {
+      return Status::ProtocolError("unknown XML entity: " +
+                                   std::string(entity));
+    }
+    i = semi;
+  }
+  return out;
+}
+
+/// Recursive-descent XML parser over a flat string.
+class Parser {
+ public:
+  explicit Parser(std::string_view input) : input_(input) {}
+
+  Result<std::unique_ptr<XmlNode>> ParseDocument() {
+    SkipProlog();
+    DAVIX_ASSIGN_OR_RETURN(std::unique_ptr<XmlNode> root, ParseElement());
+    SkipMisc();
+    if (pos_ != input_.size()) {
+      return Status::ProtocolError("trailing content after XML root");
+    }
+    return root;
+  }
+
+ private:
+  void SkipWhitespace() {
+    while (pos_ < input_.size() &&
+           std::isspace(static_cast<unsigned char>(input_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool SkipComment() {
+    if (input_.compare(pos_, 4, "<!--") != 0) return false;
+    size_t end = input_.find("-->", pos_ + 4);
+    pos_ = end == std::string_view::npos ? input_.size() : end + 3;
+    return true;
+  }
+
+  void SkipProlog() {
+    while (true) {
+      SkipWhitespace();
+      if (input_.compare(pos_, 2, "<?") == 0) {
+        size_t end = input_.find("?>", pos_);
+        pos_ = end == std::string_view::npos ? input_.size() : end + 2;
+        continue;
+      }
+      if (input_.compare(pos_, 2, "<!") == 0 &&
+          input_.compare(pos_, 4, "<!--") != 0) {
+        // DOCTYPE etc.: skip to closing '>'.
+        size_t end = input_.find('>', pos_);
+        pos_ = end == std::string_view::npos ? input_.size() : end + 1;
+        continue;
+      }
+      if (SkipComment()) continue;
+      return;
+    }
+  }
+
+  void SkipMisc() {
+    while (true) {
+      SkipWhitespace();
+      if (!SkipComment()) return;
+    }
+  }
+
+  Result<std::string> ParseName() {
+    size_t start = pos_;
+    while (pos_ < input_.size()) {
+      char c = input_[pos_];
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == ':' ||
+          c == '_' || c == '-' || c == '.') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) {
+      return Status::ProtocolError("expected XML name at offset " +
+                                   std::to_string(pos_));
+    }
+    return std::string(input_.substr(start, pos_ - start));
+  }
+
+  Result<std::unique_ptr<XmlNode>> ParseElement() {
+    if (pos_ >= input_.size() || input_[pos_] != '<') {
+      return Status::ProtocolError("expected '<' at offset " +
+                                   std::to_string(pos_));
+    }
+    ++pos_;
+    DAVIX_ASSIGN_OR_RETURN(std::string name, ParseName());
+    auto node = std::make_unique<XmlNode>(std::move(name));
+
+    // Attributes.
+    while (true) {
+      SkipWhitespace();
+      if (pos_ >= input_.size()) {
+        return Status::ProtocolError("unterminated start tag");
+      }
+      if (input_[pos_] == '>') {
+        ++pos_;
+        break;
+      }
+      if (input_.compare(pos_, 2, "/>") == 0) {
+        pos_ += 2;
+        return node;  // empty element
+      }
+      DAVIX_ASSIGN_OR_RETURN(std::string attr_name, ParseName());
+      SkipWhitespace();
+      if (pos_ >= input_.size() || input_[pos_] != '=') {
+        return Status::ProtocolError("attribute without '='");
+      }
+      ++pos_;
+      SkipWhitespace();
+      if (pos_ >= input_.size() ||
+          (input_[pos_] != '"' && input_[pos_] != '\'')) {
+        return Status::ProtocolError("attribute value must be quoted");
+      }
+      char quote = input_[pos_++];
+      size_t end = input_.find(quote, pos_);
+      if (end == std::string_view::npos) {
+        return Status::ProtocolError("unterminated attribute value");
+      }
+      DAVIX_ASSIGN_OR_RETURN(std::string value,
+                             UnescapeXml(input_.substr(pos_, end - pos_)));
+      node->SetAttribute(attr_name, value);
+      pos_ = end + 1;
+    }
+
+    // Content: text, children, comments, CDATA, then the end tag.
+    while (true) {
+      if (pos_ >= input_.size()) {
+        return Status::ProtocolError("unterminated element: " + node->name());
+      }
+      if (input_[pos_] == '<') {
+        if (SkipComment()) continue;
+        if (input_.compare(pos_, 9, "<![CDATA[") == 0) {
+          size_t end = input_.find("]]>", pos_ + 9);
+          if (end == std::string_view::npos) {
+            return Status::ProtocolError("unterminated CDATA");
+          }
+          node->AppendText(input_.substr(pos_ + 9, end - pos_ - 9));
+          pos_ = end + 3;
+          continue;
+        }
+        if (input_.compare(pos_, 2, "</") == 0) {
+          pos_ += 2;
+          DAVIX_ASSIGN_OR_RETURN(std::string end_name, ParseName());
+          if (end_name != node->name()) {
+            return Status::ProtocolError("mismatched end tag: expected " +
+                                         node->name() + " got " + end_name);
+          }
+          SkipWhitespace();
+          if (pos_ >= input_.size() || input_[pos_] != '>') {
+            return Status::ProtocolError("malformed end tag");
+          }
+          ++pos_;
+          return node;
+        }
+        DAVIX_ASSIGN_OR_RETURN(std::unique_ptr<XmlNode> child, ParseElement());
+        node->AdoptChild(std::move(child));
+        continue;
+      }
+      size_t next = input_.find('<', pos_);
+      if (next == std::string_view::npos) {
+        return Status::ProtocolError("unterminated element content");
+      }
+      DAVIX_ASSIGN_OR_RETURN(std::string text,
+                             UnescapeXml(input_.substr(pos_, next - pos_)));
+      node->AppendText(text);
+      pos_ = next;
+    }
+  }
+
+  std::string_view input_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+void XmlNode::SetAttribute(std::string_view name, std::string_view value) {
+  for (auto& [k, v] : attributes_) {
+    if (k == name) {
+      v = std::string(value);
+      return;
+    }
+  }
+  attributes_.emplace_back(std::string(name), std::string(value));
+}
+
+std::optional<std::string> XmlNode::GetAttribute(std::string_view name) const {
+  for (const auto& [k, v] : attributes_) {
+    if (k == name || LocalName(k) == name) return v;
+  }
+  return std::nullopt;
+}
+
+XmlNode* XmlNode::AddChild(std::string name) {
+  children_.push_back(std::make_unique<XmlNode>(std::move(name)));
+  return children_.back().get();
+}
+
+void XmlNode::AdoptChild(std::unique_ptr<XmlNode> child) {
+  children_.push_back(std::move(child));
+}
+
+const XmlNode* XmlNode::FirstChild(std::string_view name) const {
+  for (const auto& child : children_) {
+    if (child->name() == name || LocalName(child->name()) == name) {
+      return child.get();
+    }
+  }
+  return nullptr;
+}
+
+std::vector<const XmlNode*> XmlNode::Children(std::string_view name) const {
+  std::vector<const XmlNode*> out;
+  for (const auto& child : children_) {
+    if (child->name() == name || LocalName(child->name()) == name) {
+      out.push_back(child.get());
+    }
+  }
+  return out;
+}
+
+std::string XmlNode::ChildText(std::string_view name) const {
+  const XmlNode* child = FirstChild(name);
+  return child ? std::string(TrimWhitespace(child->text())) : std::string();
+}
+
+std::string XmlNode::Serialize(int indent) const {
+  std::string out;
+  SerializeTo(&out, indent, 0);
+  return out;
+}
+
+void XmlNode::SerializeTo(std::string* out, int indent, int depth) const {
+  std::string pad =
+      indent >= 0 ? std::string(static_cast<size_t>(indent * depth), ' ') : "";
+  *out += pad;
+  *out += '<';
+  *out += name_;
+  for (const auto& [k, v] : attributes_) {
+    *out += ' ';
+    *out += k;
+    *out += "=\"";
+    *out += EscapeXml(v);
+    *out += '"';
+  }
+  if (text_.empty() && children_.empty()) {
+    *out += "/>";
+    if (indent >= 0) *out += '\n';
+    return;
+  }
+  *out += '>';
+  *out += EscapeXml(text_);
+  if (!children_.empty()) {
+    if (indent >= 0) *out += '\n';
+    for (const auto& child : children_) {
+      child->SerializeTo(out, indent, depth + 1);
+    }
+    *out += pad;
+  }
+  *out += "</";
+  *out += name_;
+  *out += '>';
+  if (indent >= 0) *out += '\n';
+}
+
+Result<std::unique_ptr<XmlNode>> ParseXml(std::string_view input) {
+  Parser parser(input);
+  return parser.ParseDocument();
+}
+
+std::string EscapeXml(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      case '\'':
+        out += "&apos;";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace xml
+}  // namespace davix

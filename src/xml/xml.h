@@ -1,0 +1,81 @@
+#ifndef DAVIX_XML_XML_H_
+#define DAVIX_XML_XML_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace davix {
+namespace xml {
+
+/// One element of an XML document tree.
+///
+/// The feature set is the subset Metalink (RFC 5854) and WebDAV PROPFIND
+/// responses need: elements, attributes, text content, comments skipped,
+/// entity escaping for &<>'" — no DTDs, namespaces kept as literal
+/// prefixes in names.
+class XmlNode {
+ public:
+  explicit XmlNode(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  /// Concatenated text content directly inside this element.
+  const std::string& text() const { return text_; }
+  void set_text(std::string text) { text_ = std::move(text); }
+  void AppendText(std::string_view text) { text_.append(text); }
+
+  /// Attribute access.
+  void SetAttribute(std::string_view name, std::string_view value);
+  std::optional<std::string> GetAttribute(std::string_view name) const;
+  const std::vector<std::pair<std::string, std::string>>& attributes() const {
+    return attributes_;
+  }
+
+  /// Adds a child element and returns a pointer to it (owned by this).
+  XmlNode* AddChild(std::string name);
+
+  /// Takes ownership of an already-built child (used by the parser).
+  void AdoptChild(std::unique_ptr<XmlNode> child);
+
+  const std::vector<std::unique_ptr<XmlNode>>& children() const {
+    return children_;
+  }
+
+  /// First child with `name` (local comparison, namespace prefix
+  /// stripped), or nullptr.
+  const XmlNode* FirstChild(std::string_view name) const;
+
+  /// All children with `name`.
+  std::vector<const XmlNode*> Children(std::string_view name) const;
+
+  /// Text of the first child named `name`, or "" when absent.
+  std::string ChildText(std::string_view name) const;
+
+  /// Serialises this subtree. `indent` < 0 produces compact output.
+  std::string Serialize(int indent = -1) const;
+
+ private:
+  void SerializeTo(std::string* out, int indent, int depth) const;
+
+  std::string name_;
+  std::string text_;
+  std::vector<std::pair<std::string, std::string>> attributes_;
+  std::vector<std::unique_ptr<XmlNode>> children_;
+};
+
+/// Parses a document; returns its root element.
+Result<std::unique_ptr<XmlNode>> ParseXml(std::string_view input);
+
+/// Escapes &<>"' for use in text nodes and attribute values.
+std::string EscapeXml(std::string_view text);
+
+}  // namespace xml
+}  // namespace davix
+
+#endif  // DAVIX_XML_XML_H_

@@ -1,0 +1,79 @@
+#include "xrootd/readahead.h"
+
+#include <algorithm>
+
+namespace davix {
+namespace xrootd {
+
+XrdReadAheadStream::XrdReadAheadStream(XrdClient* client, uint32_t handle,
+                                       uint64_t file_size,
+                                       ReadAheadConfig config)
+    : client_(client),
+      handle_(handle),
+      file_size_(file_size),
+      config_(config) {
+  if (config_.chunk_bytes == 0) config_.chunk_bytes = 256 * 1024;
+}
+
+void XrdReadAheadStream::TopUpWindow() {
+  while (window_.size() < std::max<size_t>(1, config_.window_chunks) &&
+         window_end_ < file_size_) {
+    Chunk chunk;
+    chunk.offset = window_end_;
+    chunk.length = std::min<uint64_t>(config_.chunk_bytes,
+                                      file_size_ - window_end_);
+    chunk.future = client_->ReadAsync(handle_, chunk.offset,
+                                      static_cast<uint32_t>(chunk.length));
+    window_end_ += chunk.length;
+    window_.push_back(std::move(chunk));
+    if (config_.window_chunks == 0) break;  // strict synchronous mode
+  }
+}
+
+void XrdReadAheadStream::Seek(uint64_t offset) {
+  if (offset == position_) return;
+  position_ = offset;
+  // A seek outside what the window covers invalidates the in-flight
+  // chunks; simplest correct behaviour is to drop them all.
+  window_.clear();
+  window_end_ = offset;
+}
+
+Result<std::string> XrdReadAheadStream::Read(size_t count) {
+  if (position_ >= file_size_ || count == 0) return std::string();
+  uint64_t want = std::min<uint64_t>(count, file_size_ - position_);
+  std::string out;
+  out.reserve(want);
+
+  while (want > 0) {
+    if (window_.empty() || window_.front().offset > position_) {
+      // Window does not cover the cursor (first read or after seek).
+      window_.clear();
+      window_end_ = position_;
+    }
+    TopUpWindow();
+    Chunk& front = window_.front();
+    if (!front.resolved) {
+      Result<std::string> data = front.future.get();
+      DAVIX_RETURN_IF_ERROR(data.status());
+      if (data->size() != front.length) {
+        return Status::ProtocolError("readahead chunk short read");
+      }
+      front.data = std::move(*data);
+      front.resolved = true;
+    }
+    uint64_t chunk_pos = position_ - front.offset;
+    uint64_t take = std::min<uint64_t>(want, front.length - chunk_pos);
+    out.append(front.data, chunk_pos, take);
+    position_ += take;
+    want -= take;
+    if (position_ >= front.offset + front.length) {
+      window_.pop_front();
+      TopUpWindow();  // keep the pipe full while we consume
+    }
+  }
+  return out;
+}
+
+}  // namespace xrootd
+}  // namespace davix

@@ -1,0 +1,72 @@
+#ifndef DAVIX_XROOTD_READAHEAD_H_
+#define DAVIX_XROOTD_READAHEAD_H_
+
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <string>
+
+#include "common/status.h"
+#include "xrootd/xrd_client.h"
+
+namespace davix {
+namespace xrootd {
+
+/// Sliding-window read-ahead parameters.
+struct ReadAheadConfig {
+  /// Bytes fetched per asynchronous chunk request.
+  uint64_t chunk_bytes = 256 * 1024;
+  /// Chunks kept in flight ahead of the consumer. 0 disables read-ahead
+  /// (every Read is a synchronous round trip) — the ablation baseline.
+  size_t window_chunks = 4;
+};
+
+/// Client-side sliding-window buffering for sequential reads — the
+/// mechanism §3 of the paper credits for XRootD's WAN advantage ("the
+/// sliding windows buffering algorithm of XRootD which allows to
+/// minimize the number of network round trips").
+///
+/// The stream keeps up to `window_chunks` asynchronous reads in flight
+/// ahead of the consumer's position, so on a high-RTT path the next
+/// chunk's latency is hidden behind consumption of the current one.
+class XrdReadAheadStream {
+ public:
+  /// `client` must outlive the stream; `handle` must be open on it.
+  XrdReadAheadStream(XrdClient* client, uint32_t handle, uint64_t file_size,
+                     ReadAheadConfig config = {});
+
+  /// Sequential read of up to `count` bytes; shorter only at EOF
+  /// (empty return = EOF).
+  Result<std::string> Read(size_t count);
+
+  /// Repositions the stream; out-of-window seeks discard the window.
+  void Seek(uint64_t offset);
+
+  uint64_t position() const { return position_; }
+
+ private:
+  struct Chunk {
+    uint64_t offset = 0;
+    uint64_t length = 0;
+    std::future<Result<std::string>> future;
+    std::string data;
+    bool resolved = false;
+  };
+
+  /// Issues async reads until the window is full or EOF is covered.
+  void TopUpWindow();
+
+  XrdClient* client_;
+  uint32_t handle_;
+  uint64_t file_size_;
+  ReadAheadConfig config_;
+  uint64_t position_ = 0;
+  /// Next offset not yet covered by an in-flight chunk.
+  uint64_t window_end_ = 0;
+  std::deque<Chunk> window_;
+};
+
+}  // namespace xrootd
+}  // namespace davix
+
+#endif  // DAVIX_XROOTD_READAHEAD_H_

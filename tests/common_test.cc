@@ -1,0 +1,489 @@
+#include <algorithm>
+#include <atomic>
+#include <limits>
+#include <set>
+#include <thread>
+
+#include "common/base64.h"
+#include "common/blocking_queue.h"
+#include "common/checksum.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/status.h"
+#include "common/string_util.h"
+#include "common/thread_pool.h"
+#include "common/uri.h"
+#include "test_util.h"
+
+#include "gtest/gtest.h"
+
+namespace davix {
+namespace {
+
+// ---------------------------------------------------------------- Status
+
+TEST(StatusTest, OkIsDefault) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "ok");
+}
+
+TEST(StatusTest, FactoryAndAccessors) {
+  Status st = Status::NotFound("missing thing");
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsNotFound());
+  EXPECT_EQ(st.message(), "missing thing");
+  EXPECT_EQ(st.ToString(), "not_found: missing thing");
+}
+
+TEST(StatusTest, RetryableClassification) {
+  EXPECT_TRUE(Status::Timeout("t").IsRetryable());
+  EXPECT_TRUE(Status::ConnectionFailed("c").IsRetryable());
+  EXPECT_TRUE(Status::ConnectionReset("r").IsRetryable());
+  EXPECT_TRUE(Status::RemoteError("e").IsRetryable());
+  EXPECT_FALSE(Status::NotFound("n").IsRetryable());
+  EXPECT_FALSE(Status::InvalidArgument("i").IsRetryable());
+  EXPECT_FALSE(Status::Corruption("x").IsRetryable());
+}
+
+TEST(StatusTest, WithContextPrepends) {
+  Status st = Status::IoError("disk on fire").WithContext("reading basket");
+  EXPECT_EQ(st.message(), "reading basket: disk on fire");
+  EXPECT_EQ(st.code(), StatusCode::kIoError);
+  // OK statuses stay OK.
+  EXPECT_TRUE(Status::OK().WithContext("nope").ok());
+}
+
+TEST(StatusTest, EveryCodeHasName) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kInternal); ++c) {
+    EXPECT_FALSE(StatusCodeName(static_cast<StatusCode>(c)).empty());
+  }
+}
+
+TEST(ResultTest, ValueAndError) {
+  Result<int> ok_result(42);
+  ASSERT_TRUE(ok_result.ok());
+  EXPECT_EQ(*ok_result, 42);
+  EXPECT_EQ(ok_result.ValueOr(7), 42);
+
+  Result<int> err_result(Status::Timeout("slow"));
+  ASSERT_FALSE(err_result.ok());
+  EXPECT_EQ(err_result.status().code(), StatusCode::kTimeout);
+  EXPECT_EQ(err_result.ValueOr(7), 7);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string(1000, 'x'));
+  std::string taken = std::move(r).value();
+  EXPECT_EQ(taken.size(), 1000u);
+}
+
+// ----------------------------------------------------------- string_util
+
+TEST(StringUtilTest, SplitKeepsEmptyFields) {
+  EXPECT_EQ(SplitString("a,,b", ','),
+            (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(SplitString("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(SplitString("x", ','), (std::vector<std::string>{"x"}));
+}
+
+TEST(StringUtilTest, SplitAndTrimDropsEmpties) {
+  EXPECT_EQ(SplitAndTrim(" a , , b ", ','),
+            (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(StringUtilTest, TrimWhitespace) {
+  EXPECT_EQ(TrimWhitespace("  hi \t\r\n"), "hi");
+  EXPECT_EQ(TrimWhitespace(""), "");
+  EXPECT_EQ(TrimWhitespace(" \t "), "");
+  EXPECT_EQ(TrimWhitespace("x"), "x");
+}
+
+TEST(StringUtilTest, CaseInsensitiveEquality) {
+  EXPECT_TRUE(EqualsIgnoreCase("Content-Length", "content-length"));
+  EXPECT_TRUE(EqualsIgnoreCase("", ""));
+  EXPECT_FALSE(EqualsIgnoreCase("abc", "abcd"));
+  EXPECT_FALSE(EqualsIgnoreCase("abc", "abd"));
+}
+
+TEST(StringUtilTest, ParseUint64Bounds) {
+  EXPECT_EQ(ParseUint64("0"), 0u);
+  EXPECT_EQ(ParseUint64("18446744073709551615"),
+            18446744073709551615ull);
+  EXPECT_FALSE(ParseUint64("18446744073709551616"));  // overflow
+  EXPECT_FALSE(ParseUint64(""));
+  EXPECT_FALSE(ParseUint64("-1"));
+  EXPECT_FALSE(ParseUint64("12x"));
+  EXPECT_FALSE(ParseUint64("+3"));
+}
+
+TEST(StringUtilTest, ParseInt64SignsAndBounds) {
+  EXPECT_EQ(ParseInt64("-9223372036854775808"),
+            std::numeric_limits<int64_t>::min());
+  EXPECT_EQ(ParseInt64("9223372036854775807"),
+            std::numeric_limits<int64_t>::max());
+  EXPECT_FALSE(ParseInt64("9223372036854775808"));
+  EXPECT_EQ(ParseInt64("+17"), 17);
+  EXPECT_FALSE(ParseInt64(""));
+}
+
+TEST(StringUtilTest, HumanBytes) {
+  EXPECT_EQ(HumanBytes(312), "312 B");
+  EXPECT_EQ(HumanBytes(1536), "1.5 KiB");
+  EXPECT_EQ(HumanBytes(3 * 1024 * 1024), "3.0 MiB");
+}
+
+TEST(StringUtilTest, HexEncode) {
+  EXPECT_EQ(HexEncode(std::string("\x00\xff\x10", 3)), "00ff10");
+  EXPECT_EQ(HexEncode(""), "");
+}
+
+// ------------------------------------------------------------------- Uri
+
+TEST(UriTest, ParsesFullUrl) {
+  ASSERT_OK_AND_ASSIGN(
+      Uri uri, Uri::Parse("http://user@host.cern.ch:8080/a/b%20c?x=1#frag"));
+  EXPECT_EQ(uri.scheme(), "http");
+  EXPECT_EQ(uri.userinfo(), "user");
+  EXPECT_EQ(uri.host(), "host.cern.ch");
+  EXPECT_EQ(uri.port(), 8080);
+  EXPECT_TRUE(uri.has_explicit_port());
+  EXPECT_EQ(uri.path(), "/a/b%20c");
+  EXPECT_EQ(uri.query(), "x=1");
+  EXPECT_EQ(uri.fragment(), "frag");
+}
+
+TEST(UriTest, DefaultPorts) {
+  EXPECT_EQ(Uri::Parse("http://h/")->port(), 80);
+  EXPECT_EQ(Uri::Parse("https://h/")->port(), 443);
+  EXPECT_EQ(Uri::Parse("dav://h/")->port(), 80);
+  EXPECT_EQ(Uri::Parse("davs://h/")->port(), 443);
+  EXPECT_EQ(Uri::Parse("root://h/")->port(), 1094);
+}
+
+TEST(UriTest, EmptyPathNormalisesToSlash) {
+  ASSERT_OK_AND_ASSIGN(Uri uri, Uri::Parse("http://host"));
+  EXPECT_EQ(uri.path(), "/");
+  EXPECT_EQ(uri.PathWithQuery(), "/");
+}
+
+TEST(UriTest, QueryWithoutPath) {
+  ASSERT_OK_AND_ASSIGN(Uri uri, Uri::Parse("http://host?a=b"));
+  EXPECT_EQ(uri.path(), "/");
+  EXPECT_EQ(uri.query(), "a=b");
+}
+
+TEST(UriTest, RejectsMalformed) {
+  EXPECT_FALSE(Uri::Parse("").ok());
+  EXPECT_FALSE(Uri::Parse("no-scheme/path").ok());
+  EXPECT_FALSE(Uri::Parse("://host/").ok());
+  EXPECT_FALSE(Uri::Parse("http:///path").ok());
+  EXPECT_FALSE(Uri::Parse("http://host:0/").ok());
+  EXPECT_FALSE(Uri::Parse("http://host:99999/").ok());
+  EXPECT_FALSE(Uri::Parse("http://host:12ab/").ok());
+  EXPECT_FALSE(Uri::Parse("1http://host/").ok());
+}
+
+TEST(UriTest, RoundTripStable) {
+  const char* cases[] = {
+      "http://h/",
+      "http://h:81/p",
+      "https://a.b.c/x/y/z?q=1&r=2",
+      "root://server:1094/store/file.root",
+      "http://u:p@h/secret#f",
+  };
+  for (const char* url : cases) {
+    ASSERT_OK_AND_ASSIGN(Uri first, Uri::Parse(url));
+    ASSERT_OK_AND_ASSIGN(Uri second, Uri::Parse(first.ToString()));
+    EXPECT_EQ(first.ToString(), second.ToString()) << url;
+  }
+}
+
+TEST(UriTest, HostIsLowercasedSchemeToo) {
+  ASSERT_OK_AND_ASSIGN(Uri uri, Uri::Parse("HTTP://ExAmPlE.COM/Path"));
+  EXPECT_EQ(uri.scheme(), "http");
+  EXPECT_EQ(uri.host(), "example.com");
+  EXPECT_EQ(uri.path(), "/Path");  // path case preserved
+}
+
+TEST(UriTest, WithPathReplacesPathAndQuery) {
+  ASSERT_OK_AND_ASSIGN(Uri uri, Uri::Parse("http://h:81/old?x=1"));
+  Uri next = uri.WithPath("/new/path?y=2");
+  EXPECT_EQ(next.ToString(), "http://h:81/new/path?y=2");
+  Uri bare = uri.WithPath("plain");
+  EXPECT_EQ(bare.path(), "/plain");
+  EXPECT_TRUE(bare.query().empty());
+}
+
+TEST(UriTest, ResolveAbsoluteUrl) {
+  ASSERT_OK_AND_ASSIGN(Uri base, Uri::Parse("http://h/a/b"));
+  ASSERT_OK_AND_ASSIGN(Uri resolved, base.Resolve("http://other:99/c"));
+  EXPECT_EQ(resolved.ToString(), "http://other:99/c");
+}
+
+TEST(UriTest, ResolveAbsolutePath) {
+  ASSERT_OK_AND_ASSIGN(Uri base, Uri::Parse("http://h:8080/a/b?q=1"));
+  ASSERT_OK_AND_ASSIGN(Uri resolved, base.Resolve("/c/d"));
+  EXPECT_EQ(resolved.ToString(), "http://h:8080/c/d");
+}
+
+TEST(UriTest, ResolveRelativePath) {
+  ASSERT_OK_AND_ASSIGN(Uri base, Uri::Parse("http://h/a/b"));
+  ASSERT_OK_AND_ASSIGN(Uri resolved, base.Resolve("sibling"));
+  EXPECT_EQ(resolved.path(), "/a/sibling");
+}
+
+TEST(UriTest, HostPortKey) {
+  EXPECT_EQ(Uri::Parse("http://h/x")->HostPortKey(), "h:80");
+  EXPECT_EQ(Uri::Parse("http://h:8080/x")->HostPortKey(), "h:8080");
+}
+
+TEST(UrlCodecTest, EncodePath) {
+  EXPECT_EQ(UrlEncodePath("/a b/c"), "/a%20b/c");
+  EXPECT_EQ(UrlEncodePath("/plain-path_1.2~x/"), "/plain-path_1.2~x/");
+}
+
+TEST(UrlCodecTest, DecodeErrors) {
+  EXPECT_FALSE(UrlDecode("%2").ok());
+  EXPECT_FALSE(UrlDecode("%zz").ok());
+  ASSERT_OK_AND_ASSIGN(std::string decoded, UrlDecode("/a%20b+c"));
+  EXPECT_EQ(decoded, "/a b c");
+}
+
+// Property: encode→decode is identity for any path bytes.
+class UrlRoundTripTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(UrlRoundTripTest, EncodeDecodeIdentity) {
+  Rng rng(GetParam());
+  std::string path = "/";
+  size_t len = 1 + rng.Below(60);
+  for (size_t i = 0; i < len; ++i) {
+    path.push_back(static_cast<char>(rng.Below(256)));
+  }
+  ASSERT_OK_AND_ASSIGN(std::string decoded, UrlDecode(UrlEncodePath(path)));
+  // '+' decodes to space, so exclude inputs containing '+'.
+  if (path.find('+') == std::string::npos) {
+    EXPECT_EQ(decoded, path);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UrlRoundTripTest,
+                         ::testing::Range<uint64_t>(1, 33));
+
+// ---------------------------------------------------------------- base64
+
+TEST(Base64Test, Rfc4648Vectors) {
+  EXPECT_EQ(Base64Encode(""), "");
+  EXPECT_EQ(Base64Encode("f"), "Zg==");
+  EXPECT_EQ(Base64Encode("fo"), "Zm8=");
+  EXPECT_EQ(Base64Encode("foo"), "Zm9v");
+  EXPECT_EQ(Base64Encode("foob"), "Zm9vYg==");
+  EXPECT_EQ(Base64Encode("fooba"), "Zm9vYmE=");
+  EXPECT_EQ(Base64Encode("foobar"), "Zm9vYmFy");
+}
+
+TEST(Base64Test, DecodeRejectsGarbage) {
+  EXPECT_FALSE(Base64Decode("a").ok());     // length 1 mod 4
+  EXPECT_FALSE(Base64Decode("ab!d").ok());  // bad character
+  ASSERT_OK_AND_ASSIGN(std::string ok, Base64Decode("Zm9v"));
+  EXPECT_EQ(ok, "foo");
+  // Missing padding tolerated.
+  ASSERT_OK_AND_ASSIGN(std::string nopad, Base64Decode("Zm8"));
+  EXPECT_EQ(nopad, "fo");
+}
+
+class Base64RoundTripTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(Base64RoundTripTest, EncodeDecodeIdentity) {
+  Rng rng(GetParam());
+  std::string data = rng.Bytes(rng.Below(200));
+  ASSERT_OK_AND_ASSIGN(std::string decoded, Base64Decode(Base64Encode(data)));
+  EXPECT_EQ(decoded, data);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Base64RoundTripTest,
+                         ::testing::Range<uint64_t>(1, 33));
+
+// -------------------------------------------------------------- checksum
+
+TEST(ChecksumTest, Crc32KnownVectors) {
+  EXPECT_EQ(Crc32(""), 0u);
+  EXPECT_EQ(Crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(Crc32("The quick brown fox jumps over the lazy dog"),
+            0x414FA339u);
+}
+
+TEST(ChecksumTest, Crc32Seeded) {
+  // Chained CRC equals whole-buffer CRC.
+  std::string data = "hello, world";
+  uint32_t whole = Crc32(data);
+  uint32_t part = Crc32(data.substr(0, 5));
+  uint32_t chained = Crc32(data.substr(5), part);
+  EXPECT_EQ(chained, whole);
+}
+
+TEST(ChecksumTest, Md5KnownVectors) {
+  EXPECT_EQ(Md5::HexDigest(""), "d41d8cd98f00b204e9800998ecf8427e");
+  EXPECT_EQ(Md5::HexDigest("abc"), "900150983cd24fb0d6963f7d28e17f72");
+  EXPECT_EQ(Md5::HexDigest("message digest"),
+            "f96b697d7cb7938d525a2f31aaf161d0");
+  EXPECT_EQ(
+      Md5::HexDigest("ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz"
+                     "0123456789"),
+      "d174ab98d277d9f5a5611c2c9f419d9f");
+}
+
+TEST(ChecksumTest, Md5IncrementalMatchesOneShot) {
+  Rng rng(7);
+  std::string data = rng.Bytes(10000);
+  Md5 incremental;
+  size_t pos = 0;
+  while (pos < data.size()) {
+    size_t chunk = 1 + rng.Below(997);
+    chunk = std::min(chunk, data.size() - pos);
+    incremental.Update(std::string_view(data).substr(pos, chunk));
+    pos += chunk;
+  }
+  auto digest = incremental.Digest();
+  EXPECT_EQ(HexEncode(std::string_view(
+                reinterpret_cast<char*>(digest.data()), digest.size())),
+            Md5::HexDigest(data));
+}
+
+// ------------------------------------------------------------------- Rng
+
+TEST(RngTest, DeterministicAcrossInstances) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(RngTest, BelowInRange) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Below(17), 17u);
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, BytesLength) {
+  Rng rng(5);
+  for (size_t n : {0u, 1u, 7u, 8u, 9u, 100u}) {
+    EXPECT_EQ(rng.Bytes(n).size(), n);
+  }
+}
+
+TEST(RngTest, CompressibleBytesAreCompressible) {
+  Rng rng(11);
+  std::string data = rng.CompressibleBytes(4096);
+  EXPECT_EQ(data.size(), 4096u);
+  // Count distinct bytes: should be far fewer than random.
+  std::set<char> distinct(data.begin(), data.end());
+  EXPECT_LT(distinct.size(), 64u);
+}
+
+// ----------------------------------------------------------------- stats
+
+TEST(SampleStatsTest, Moments) {
+  SampleStats stats;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stats.Add(v);
+  EXPECT_DOUBLE_EQ(stats.Mean(), 5.0);
+  EXPECT_NEAR(stats.Stddev(), 2.138, 0.01);
+  EXPECT_DOUBLE_EQ(stats.Min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.Max(), 9.0);
+  EXPECT_EQ(stats.count(), 8u);
+}
+
+TEST(SampleStatsTest, Percentiles) {
+  SampleStats stats;
+  for (int i = 1; i <= 100; ++i) stats.Add(i);
+  EXPECT_NEAR(stats.Percentile(0), 1.0, 1e-9);
+  EXPECT_NEAR(stats.Percentile(100), 100.0, 1e-9);
+  EXPECT_NEAR(stats.Percentile(50), 50.5, 0.01);
+  EXPECT_NEAR(stats.Percentile(90), 90.1, 0.2);
+}
+
+TEST(SampleStatsTest, EmptyIsZero) {
+  SampleStats stats;
+  EXPECT_EQ(stats.Mean(), 0.0);
+  EXPECT_EQ(stats.Stddev(), 0.0);
+  EXPECT_EQ(stats.Percentile(50), 0.0);
+}
+
+TEST(IoCountersTest, ToStringContainsFields) {
+  IoCounters counters;
+  counters.requests = 3;
+  counters.vector_queries = 2;
+  std::string s = counters.ToString();
+  EXPECT_NE(s.find("requests=3"), std::string::npos);
+  EXPECT_NE(s.find("vector_queries=2"), std::string::npos);
+}
+
+// ----------------------------------------------------- queue/thread pool
+
+TEST(BlockingQueueTest, FifoOrder) {
+  BlockingQueue<int> queue;
+  for (int i = 0; i < 10; ++i) queue.Push(i);
+  for (int i = 0; i < 10; ++i) {
+    auto v = queue.Pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+}
+
+TEST(BlockingQueueTest, CloseDrainsThenEnds) {
+  BlockingQueue<int> queue;
+  queue.Push(1);
+  queue.Close();
+  EXPECT_FALSE(queue.Push(2));
+  EXPECT_EQ(queue.Pop(), 1);
+  EXPECT_FALSE(queue.Pop().has_value());
+}
+
+TEST(BlockingQueueTest, CloseWakesBlockedConsumer) {
+  BlockingQueue<int> queue;
+  std::thread consumer([&] { EXPECT_FALSE(queue.Pop().has_value()); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  queue.Close();
+  consumer.join();
+}
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(pool.Submit([&] { counter.fetch_add(1); }));
+  }
+  pool.Shutdown();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, RejectsAfterShutdown) {
+  ThreadPool pool(1);
+  pool.Shutdown();
+  EXPECT_FALSE(pool.Submit([] {}));
+}
+
+TEST(ParallelForTest, CoversAllIndicesOnce) {
+  std::vector<std::atomic<int>> hits(257);
+  ParallelFor(hits.size(), 8, [&](size_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForTest, ZeroItemsIsNoop) {
+  ParallelFor(0, 4, [](size_t) { FAIL(); });
+}
+
+}  // namespace
+}  // namespace davix

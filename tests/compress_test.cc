@@ -1,0 +1,132 @@
+#include <tuple>
+
+#include "common/rng.h"
+#include "compress/codec.h"
+#include "test_util.h"
+
+#include "gtest/gtest.h"
+
+namespace davix {
+namespace compress {
+namespace {
+
+TEST(CodecTest, NamesRoundTrip) {
+  for (CodecType type : {CodecType::kNone, CodecType::kRle, CodecType::kDlz}) {
+    ASSERT_OK_AND_ASSIGN(CodecType parsed,
+                         ParseCodecName(std::string(CodecName(type))));
+    EXPECT_EQ(parsed, type);
+  }
+  EXPECT_FALSE(ParseCodecName("zstd").ok());
+}
+
+TEST(CodecTest, EmptyInputRoundTrips) {
+  for (CodecType type : {CodecType::kNone, CodecType::kRle, CodecType::kDlz}) {
+    std::string frame = Compress(type, "");
+    ASSERT_OK_AND_ASSIGN(std::string out, Decompress(frame));
+    EXPECT_TRUE(out.empty());
+  }
+}
+
+TEST(CodecTest, CompressesRuns) {
+  std::string data(10'000, 'x');
+  std::string rle = Compress(CodecType::kRle, data);
+  std::string dlz = Compress(CodecType::kDlz, data);
+  EXPECT_LT(rle.size(), data.size() / 10);
+  EXPECT_LT(dlz.size(), data.size() / 10);
+}
+
+TEST(CodecTest, IncompressibleFallsBackToStored) {
+  Rng rng(1);
+  std::string data = rng.Bytes(4096);
+  std::string frame = Compress(CodecType::kDlz, data);
+  // Stored form: frame is exactly header + original bytes.
+  EXPECT_EQ(frame.size(), kFrameHeaderSize + data.size());
+  ASSERT_OK_AND_ASSIGN(std::string out, Decompress(frame));
+  EXPECT_EQ(out, data);
+}
+
+TEST(CodecTest, FrameOriginalSize) {
+  std::string frame = Compress(CodecType::kDlz, std::string(500, 'a'));
+  ASSERT_OK_AND_ASSIGN(uint64_t size, FrameOriginalSize(frame));
+  EXPECT_EQ(size, 500u);
+  EXPECT_FALSE(FrameOriginalSize("xx").ok());
+}
+
+TEST(CodecTest, DetectsCorruption) {
+  std::string frame = Compress(CodecType::kDlz, std::string(2000, 'q'));
+  // Flip a payload byte.
+  std::string corrupted = frame;
+  corrupted[kFrameHeaderSize] ^= 0x5A;
+  Result<std::string> out = Decompress(corrupted);
+  EXPECT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kCorruption);
+}
+
+TEST(CodecTest, DetectsBadMagicAndTruncation) {
+  std::string frame = Compress(CodecType::kRle, "hello world");
+  std::string bad_magic = frame;
+  bad_magic[0] = 'X';
+  EXPECT_FALSE(Decompress(bad_magic).ok());
+  EXPECT_FALSE(Decompress(frame.substr(0, 5)).ok());
+  EXPECT_FALSE(Decompress("").ok());
+}
+
+TEST(CodecTest, DetectsBadCodecByte) {
+  std::string frame = Compress(CodecType::kNone, "data");
+  frame[4] = 0x7F;
+  EXPECT_FALSE(Decompress(frame).ok());
+}
+
+TEST(CodecTest, DlzHandlesOverlappingMatches) {
+  // "abcabcabc..." forces matches whose source overlaps the output head.
+  std::string data;
+  for (int i = 0; i < 1000; ++i) data += "abc";
+  std::string frame = Compress(CodecType::kDlz, data);
+  EXPECT_LT(frame.size(), data.size() / 4);
+  ASSERT_OK_AND_ASSIGN(std::string out, Decompress(frame));
+  EXPECT_EQ(out, data);
+}
+
+// Property: round trip over codecs × payload shapes × sizes.
+using RoundTripParam = std::tuple<int, int, uint64_t>;
+
+class CodecRoundTripTest : public ::testing::TestWithParam<RoundTripParam> {};
+
+TEST_P(CodecRoundTripTest, CompressDecompressIdentity) {
+  auto [codec_idx, shape, seed] = GetParam();
+  CodecType type = static_cast<CodecType>(codec_idx);
+  Rng rng(seed);
+  size_t size = rng.Below(64 * 1024);
+  std::string data;
+  switch (shape) {
+    case 0:
+      data = rng.Bytes(size);  // incompressible
+      break;
+    case 1:
+      data = rng.CompressibleBytes(size);  // texty with runs
+      break;
+    case 2:
+      data.assign(size, static_cast<char>(rng.Below(256)));  // one run
+      break;
+    case 3: {  // sparse: mostly zeros with random spikes
+      data.assign(size, '\0');
+      for (size_t i = 0; i < size / 50 + 1 && size > 0; ++i) {
+        data[rng.Below(size)] = static_cast<char>(rng.Below(256));
+      }
+      break;
+    }
+  }
+  std::string frame = Compress(type, data);
+  ASSERT_OK_AND_ASSIGN(std::string out, Decompress(frame));
+  EXPECT_EQ(out, data);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, CodecRoundTripTest,
+    ::testing::Combine(::testing::Values(0, 1, 2),     // codec
+                       ::testing::Values(0, 1, 2, 3),  // shape
+                       ::testing::Range<uint64_t>(1, 6)));
+
+}  // namespace
+}  // namespace compress
+}  // namespace davix

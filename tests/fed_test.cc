@@ -1,0 +1,166 @@
+#include "core/context.h"
+#include "core/http_client.h"
+#include "fed/federation_handler.h"
+#include "fed/replica_catalog.h"
+#include "test_util.h"
+
+#include "gtest/gtest.h"
+
+namespace davix {
+namespace fed {
+namespace {
+
+// --------------------------------------------------------- ReplicaCatalog
+
+TEST(ReplicaCatalogTest, AddLookupRemove) {
+  ReplicaCatalog catalog;
+  catalog.AddReplica("/d/f.root", "http://a/f.root", 2);
+  catalog.AddReplica("/d/f.root", "http://b/f.root", 1);
+  ASSERT_OK_AND_ASSIGN(auto entry, catalog.Lookup("/d/f.root"));
+  EXPECT_EQ(entry.name, "f.root");
+  ASSERT_EQ(entry.replicas.size(), 2u);
+  EXPECT_EQ(entry.SortedReplicas()[0].url, "http://b/f.root");
+
+  EXPECT_TRUE(catalog.RemoveReplica("/d/f.root", "http://a/f.root"));
+  EXPECT_FALSE(catalog.RemoveReplica("/d/f.root", "http://a/f.root"));
+  ASSERT_OK_AND_ASSIGN(entry, catalog.Lookup("/d/f.root"));
+  EXPECT_EQ(entry.replicas.size(), 1u);
+
+  catalog.Remove("/d/f.root");
+  EXPECT_FALSE(catalog.Lookup("/d/f.root").ok());
+}
+
+TEST(ReplicaCatalogTest, ReaddUpdatesPriority) {
+  ReplicaCatalog catalog;
+  catalog.AddReplica("/f", "http://a/f", 5);
+  catalog.AddReplica("/f", "http://a/f", 1);
+  ASSERT_OK_AND_ASSIGN(auto entry, catalog.Lookup("/f"));
+  ASSERT_EQ(entry.replicas.size(), 1u);
+  EXPECT_EQ(entry.replicas[0].priority, 1);
+}
+
+TEST(ReplicaCatalogTest, MetaRecorded) {
+  ReplicaCatalog catalog;
+  catalog.AddReplica("/f", "http://a/f", 1);
+  catalog.SetFileMeta("/f", 12345, "00ff");
+  ASSERT_OK_AND_ASSIGN(auto entry, catalog.Lookup("/f"));
+  EXPECT_EQ(entry.size, 12345u);
+  EXPECT_EQ(entry.md5, "00ff");
+}
+
+TEST(ReplicaCatalogTest, NormalisesPaths) {
+  ReplicaCatalog catalog;
+  catalog.AddReplica("f", "http://a/f", 1);
+  EXPECT_TRUE(catalog.Lookup("/f").ok());
+  catalog.AddReplica("/g/", "http://a/g", 1);
+  EXPECT_TRUE(catalog.Lookup("/g").ok());
+  EXPECT_EQ(catalog.Paths(), (std::vector<std::string>{"/f", "/g"}));
+}
+
+TEST(ReplicaCatalogTest, EmptyReplicaListIsNotFound) {
+  ReplicaCatalog catalog;
+  catalog.AddReplica("/f", "http://a/f", 1);
+  catalog.RemoveReplica("/f", "http://a/f");
+  EXPECT_FALSE(catalog.Lookup("/f").ok());
+}
+
+// ------------------------------------------------------ FederationHandler
+
+class FederationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    catalog_ = std::make_shared<ReplicaCatalog>();
+    catalog_->AddReplica("/data/f.root", "http://replica-b:80/f.root", 2);
+    catalog_->AddReplica("/data/f.root", "http://replica-a:80/f.root", 1);
+    catalog_->SetFileMeta("/data/f.root", 4096, "");
+    handler_ = std::make_shared<FederationHandler>(catalog_);
+    router_ = std::make_shared<httpd::Router>();
+    handler_->Register(router_.get(), "/fed");
+    auto server = httpd::HttpServer::Start({}, router_);
+    ASSERT_TRUE(server.ok());
+    server_ = std::move(*server);
+    context_ = std::make_unique<core::Context>();
+    client_ = std::make_unique<core::HttpClient>(context_.get());
+    params_.follow_redirects = false;  // inspect redirects directly
+  }
+
+  Result<core::HttpClient::Exchange> Get(const std::string& path,
+                                         const http::HeaderMap* headers =
+                                             nullptr) {
+    core::RequestParams params = params_;
+    return client_->Execute(*Uri::Parse(server_->BaseUrl() + path),
+                            http::Method::kGet, params, "", headers);
+  }
+
+  std::shared_ptr<ReplicaCatalog> catalog_;
+  std::shared_ptr<FederationHandler> handler_;
+  std::shared_ptr<httpd::Router> router_;
+  std::unique_ptr<httpd::HttpServer> server_;
+  std::unique_ptr<core::Context> context_;
+  std::unique_ptr<core::HttpClient> client_;
+  core::RequestParams params_;
+};
+
+TEST_F(FederationTest, AcceptHeaderYieldsMetalink) {
+  http::HeaderMap headers;
+  headers.Set("Accept", std::string(metalink::kMetalinkContentType));
+  ASSERT_OK_AND_ASSIGN(auto exchange, Get("/fed/data/f.root", &headers));
+  EXPECT_EQ(exchange.response.status_code, 200);
+  EXPECT_EQ(exchange.response.headers.Get("Content-Type"),
+            std::string(metalink::kMetalinkContentType));
+  ASSERT_OK_AND_ASSIGN(auto parsed,
+                       metalink::ParseMetalink(exchange.response.body));
+  ASSERT_EQ(parsed.replicas.size(), 2u);
+  EXPECT_EQ(parsed.SortedReplicas()[0].url, "http://replica-a:80/f.root");
+  EXPECT_EQ(parsed.size, 4096u);
+  EXPECT_EQ(handler_->metalinks_served(), 1u);
+}
+
+TEST_F(FederationTest, QueryParameterYieldsMetalink) {
+  ASSERT_OK_AND_ASSIGN(auto exchange, Get("/fed/data/f.root?metalink"));
+  EXPECT_EQ(exchange.response.status_code, 200);
+  EXPECT_TRUE(exchange.response.body.find("<metalink") != std::string::npos ||
+              exchange.response.body.find(":metalink") != std::string::npos);
+}
+
+TEST_F(FederationTest, Meta4SuffixYieldsMetalink) {
+  ASSERT_OK_AND_ASSIGN(auto exchange, Get("/fed/data/f.root.meta4"));
+  EXPECT_EQ(exchange.response.status_code, 200);
+  ASSERT_OK_AND_ASSIGN(auto parsed,
+                       metalink::ParseMetalink(exchange.response.body));
+  EXPECT_EQ(parsed.replicas.size(), 2u);
+}
+
+TEST_F(FederationTest, PlainGetRedirectsToBestReplica) {
+  ASSERT_OK_AND_ASSIGN(auto exchange, Get("/fed/data/f.root"));
+  EXPECT_EQ(exchange.response.status_code, 302);
+  EXPECT_EQ(exchange.response.headers.Get("Location"),
+            "http://replica-a:80/f.root");
+  EXPECT_EQ(handler_->redirects_served(), 1u);
+}
+
+TEST_F(FederationTest, UnknownResourceIs404) {
+  ASSERT_OK_AND_ASSIGN(auto exchange, Get("/fed/unknown"));
+  EXPECT_EQ(exchange.response.status_code, 404);
+}
+
+TEST_F(FederationTest, NonGetRejected) {
+  http::HeaderMap headers;
+  headers.Set("Accept", std::string(metalink::kMetalinkContentType));
+  ASSERT_OK_AND_ASSIGN(
+      auto exchange,
+      client_->Execute(*Uri::Parse(server_->BaseUrl() + "/fed/data/f.root"),
+                       http::Method::kPut, params_, "body", &headers));
+  EXPECT_EQ(exchange.response.status_code, 405);
+}
+
+TEST_F(FederationTest, CatalogChangesVisibleImmediately) {
+  catalog_->AddReplica("/data/f.root", "http://replica-c:80/f.root", 0);
+  ASSERT_OK_AND_ASSIGN(auto exchange, Get("/fed/data/f.root"));
+  EXPECT_EQ(exchange.response.headers.Get("Location"),
+            "http://replica-c:80/f.root");
+}
+
+}  // namespace
+}  // namespace fed
+}  // namespace davix

@@ -1,0 +1,189 @@
+// Randomised corruption ("poor man's fuzzing", deterministic seeds):
+// every parser in the stack must reject arbitrary corruption with an
+// error — never crash, hang, or silently return wrong data. Each suite
+// takes a valid artefact, flips/truncates/splices random bytes, and
+// feeds the result to the parser.
+
+#include "common/rng.h"
+#include "compress/codec.h"
+#include "http/multipart.h"
+#include "http/range.h"
+#include "metalink/metalink.h"
+#include "root/tree_format.h"
+#include "test_util.h"
+#include "xml/xml.h"
+
+#include "gtest/gtest.h"
+
+namespace davix {
+namespace {
+
+/// Applies one of several corruption operators to `data`.
+std::string Corrupt(std::string data, Rng* rng) {
+  if (data.empty()) return data;
+  switch (rng->Below(4)) {
+    case 0: {  // flip random bytes
+      size_t flips = 1 + rng->Below(8);
+      for (size_t i = 0; i < flips; ++i) {
+        data[rng->Below(data.size())] ^=
+            static_cast<char>(1 + rng->Below(255));
+      }
+      return data;
+    }
+    case 1:  // truncate
+      return data.substr(0, rng->Below(data.size()));
+    case 2: {  // splice a random block over a random position
+      size_t pos = rng->Below(data.size());
+      std::string garbage = rng->Bytes(1 + rng->Below(64));
+      data.replace(pos, std::min(garbage.size(), data.size() - pos),
+                   garbage);
+      return data;
+    }
+    default: {  // duplicate a slice into the middle
+      size_t from = rng->Below(data.size());
+      size_t len = std::min<size_t>(1 + rng->Below(32), data.size() - from);
+      data.insert(rng->Below(data.size()), data.substr(from, len));
+      return data;
+    }
+  }
+}
+
+class CompressFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CompressFuzzTest, CorruptFramesNeverCrashOrLie) {
+  Rng rng(GetParam());
+  std::string original = rng.CompressibleBytes(2000 + rng.Below(4000));
+  auto codec = static_cast<compress::CodecType>(1 + rng.Below(2));
+  std::string frame = compress::Compress(codec, original);
+  for (int round = 0; round < 20; ++round) {
+    std::string corrupted = Corrupt(frame, &rng);
+    Result<std::string> out = compress::Decompress(corrupted);
+    // Either detected (the common case, via magic/size/crc) or — only if
+    // the corruption kept the frame bit-exact semantics — identical.
+    if (out.ok()) {
+      EXPECT_EQ(*out, original);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CompressFuzzTest,
+                         ::testing::Range<uint64_t>(1, 17));
+
+class TreeFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TreeFuzzTest, CorruptIndexRegionsRejected) {
+  Rng rng(GetParam());
+  root::TreeSpec spec;
+  spec.n_events = 300;
+  spec.events_per_basket = 50;
+  spec.branches = {{"a", 4}, {"b", 16}};
+  std::string file = root::BuildTreeFile(spec, GetParam());
+  for (int round = 0; round < 20; ++round) {
+    std::string corrupted = Corrupt(file, &rng);
+    // Must never crash; may legitimately still parse if the corruption
+    // hit basket payloads rather than the header/index.
+    Result<root::TreeIndex> index = root::ParseTreeIndex(corrupted);
+    if (index.ok()) {
+      // Whatever parsed must still be internally consistent.
+      EXPECT_LE(index->data_begin, index->file_size);
+      for (const auto& branch : index->baskets) {
+        for (const root::BasketInfo& basket : branch) {
+          EXPECT_LE(basket.offset + basket.stored_length, index->file_size);
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TreeFuzzTest,
+                         ::testing::Range<uint64_t>(1, 17));
+
+class XmlFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(XmlFuzzTest, CorruptDocumentsNeverCrash) {
+  Rng rng(GetParam());
+  metalink::MetalinkFile file;
+  file.name = "fuzz.root";
+  file.size = 12345;
+  for (int i = 0; i < 3; ++i) {
+    metalink::Replica replica;
+    replica.url = "http://host" + std::to_string(i) + "/f";
+    replica.priority = i + 1;
+    file.replicas.push_back(replica);
+  }
+  std::string document = metalink::WriteMetalink(file);
+  for (int round = 0; round < 30; ++round) {
+    std::string corrupted = Corrupt(document, &rng);
+    // Both layers must stay memory-safe.
+    Result<std::unique_ptr<xml::XmlNode>> dom = xml::ParseXml(corrupted);
+    Result<metalink::MetalinkFile> parsed =
+        metalink::ParseMetalink(corrupted);
+    if (parsed.ok()) {
+      EXPECT_FALSE(parsed->replicas.empty());
+    }
+    (void)dom;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, XmlFuzzTest,
+                         ::testing::Range<uint64_t>(1, 17));
+
+class MultipartFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MultipartFuzzTest, CorruptBodiesNeverCrash) {
+  Rng rng(GetParam());
+  std::vector<http::BytesPart> parts;
+  for (int i = 0; i < 3; ++i) {
+    http::BytesPart part;
+    part.range = {static_cast<uint64_t>(i) * 1000, 100};
+    part.total_size = 10'000;
+    part.data = rng.Bytes(100);
+    parts.push_back(std::move(part));
+  }
+  std::string boundary = http::GenerateBoundary(parts, GetParam());
+  std::string body = http::BuildMultipartBody(parts, boundary);
+  for (int round = 0; round < 30; ++round) {
+    std::string corrupted = Corrupt(body, &rng);
+    Result<std::vector<http::BytesPart>> parsed =
+        http::ParseMultipartBody(corrupted, boundary);
+    if (parsed.ok()) {
+      // Any accepted part must be self-consistent.
+      for (const http::BytesPart& part : *parsed) {
+        EXPECT_EQ(part.data.size(), part.range.length);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MultipartFuzzTest,
+                         ::testing::Range<uint64_t>(1, 17));
+
+class RangeFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RangeFuzzTest, ArbitraryHeaderValuesNeverCrash) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 200; ++round) {
+    // Mix of near-valid and wild inputs.
+    std::string value;
+    if (rng.Chance(0.5)) {
+      value = "bytes=";
+      size_t n = rng.Below(5);
+      for (size_t i = 0; i < n; ++i) {
+        if (i > 0) value += ',';
+        value += std::to_string(rng.Below(1000));
+        value += rng.Chance(0.8) ? "-" : "";
+        if (rng.Chance(0.7)) value += std::to_string(rng.Below(1000));
+      }
+    } else {
+      value = std::string(rng.Bytes(rng.Below(40)));
+    }
+    (void)http::ParseRangeHeader(value, 1000);
+    (void)http::ParseContentRange(value);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RangeFuzzTest,
+                         ::testing::Range<uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace davix

@@ -1,0 +1,171 @@
+#include "common/checksum.h"
+#include "common/rng.h"
+#include "core/context.h"
+#include "core/dav_file.h"
+#include "test_util.h"
+
+#include "gtest/gtest.h"
+
+namespace davix {
+namespace {
+
+using ::davix::testing::StartStorageServer;
+using ::davix::testing::TestStorageServer;
+
+// ------------------------------------------------------------- Basic auth
+
+class BasicAuthTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    httpd::ServerConfig config;
+    config.basic_auth_user = "atlas";
+    config.basic_auth_password = "s3cret";
+    server_ = StartStorageServer(config);
+    server_.store->Put("/protected.bin", "classified");
+    context_ = std::make_unique<core::Context>();
+    params_.metalink_mode = core::MetalinkMode::kDisabled;
+  }
+
+  TestStorageServer server_;
+  std::unique_ptr<core::Context> context_;
+  core::RequestParams params_;
+};
+
+TEST_F(BasicAuthTest, RejectsAnonymous) {
+  core::DavFile file =
+      *core::DavFile::Make(context_.get(), server_.UrlFor("/protected.bin"));
+  Result<std::string> body = file.Get(params_);
+  ASSERT_FALSE(body.ok());
+  EXPECT_EQ(body.status().code(), StatusCode::kPermissionDenied);
+}
+
+TEST_F(BasicAuthTest, RejectsWrongPassword) {
+  params_.username = "atlas";
+  params_.password = "wrong";
+  core::DavFile file =
+      *core::DavFile::Make(context_.get(), server_.UrlFor("/protected.bin"));
+  EXPECT_EQ(file.Get(params_).status().code(),
+            StatusCode::kPermissionDenied);
+}
+
+TEST_F(BasicAuthTest, AcceptsCorrectCredentials) {
+  params_.username = "atlas";
+  params_.password = "s3cret";
+  core::DavFile file =
+      *core::DavFile::Make(context_.get(), server_.UrlFor("/protected.bin"));
+  ASSERT_OK_AND_ASSIGN(std::string body, file.Get(params_));
+  EXPECT_EQ(body, "classified");
+}
+
+TEST_F(BasicAuthTest, ChallengeCarriesRealm) {
+  core::HttpClient client(context_.get());
+  ASSERT_OK_AND_ASSIGN(
+      auto exchange,
+      client.Execute(*Uri::Parse(server_.UrlFor("/protected.bin")),
+                     http::Method::kGet, params_));
+  EXPECT_EQ(exchange.response.status_code, 401);
+  EXPECT_EQ(exchange.response.headers.Get("WWW-Authenticate"),
+            "Basic realm=\"davix\"");
+}
+
+TEST_F(BasicAuthTest, AuthenticatedWritesWork) {
+  params_.username = "atlas";
+  params_.password = "s3cret";
+  core::DavFile file =
+      *core::DavFile::Make(context_.get(), server_.UrlFor("/new.bin"));
+  ASSERT_OK(file.Put("fresh", params_));
+  ASSERT_OK_AND_ASSIGN(std::string body, file.Get(params_));
+  EXPECT_EQ(body, "fresh");
+}
+
+// ------------------------------------------------------------- WebDAV COPY
+
+TEST(CopyTest, ServerSideCopy) {
+  TestStorageServer server = StartStorageServer();
+  Rng rng(3);
+  std::string content = rng.Bytes(50'000);
+  server.store->Put("/src.bin", content);
+  core::Context context;
+  core::RequestParams params;
+  params.metalink_mode = core::MetalinkMode::kDisabled;
+  core::DavFile file =
+      *core::DavFile::Make(&context, server.UrlFor("/src.bin"));
+  ASSERT_OK(file.Copy("/dst.bin", params));
+
+  ASSERT_OK_AND_ASSIGN(auto copied, server.store->Get("/dst.bin"));
+  EXPECT_EQ(copied->data, content);
+  // Source untouched.
+  EXPECT_TRUE(server.store->Get("/src.bin").ok());
+}
+
+TEST(CopyTest, CopyMissingSourceIs404) {
+  TestStorageServer server = StartStorageServer();
+  core::Context context;
+  core::RequestParams params;
+  params.metalink_mode = core::MetalinkMode::kDisabled;
+  core::DavFile file =
+      *core::DavFile::Make(&context, server.UrlFor("/absent"));
+  EXPECT_EQ(file.Copy("/dst", params).code(), StatusCode::kNotFound);
+}
+
+TEST(CopyTest, AbsoluteDestinationUrlAccepted) {
+  TestStorageServer server = StartStorageServer();
+  server.store->Put("/a", "data");
+  core::Context context;
+  core::RequestParams params;
+  params.metalink_mode = core::MetalinkMode::kDisabled;
+  core::DavFile file = *core::DavFile::Make(&context, server.UrlFor("/a"));
+  ASSERT_OK(file.Copy(server.UrlFor("/b"), params));
+  EXPECT_TRUE(server.store->Get("/b").ok());
+}
+
+// -------------------------------------------------------------- checksums
+
+TEST(ChecksumQueryTest, MatchesLocalMd5) {
+  TestStorageServer server = StartStorageServer();
+  Rng rng(9);
+  std::string content = rng.Bytes(123'457);
+  server.store->Put("/f", content);
+  core::Context context;
+  core::RequestParams params;
+  params.metalink_mode = core::MetalinkMode::kDisabled;
+  core::DavFile file = *core::DavFile::Make(&context, server.UrlFor("/f"));
+  ASSERT_OK_AND_ASSIGN(std::string digest, file.GetChecksum(params));
+  EXPECT_EQ(digest, Md5::HexDigest(content));
+}
+
+TEST(ChecksumQueryTest, ServerWithoutDigestSupport) {
+  // A plain router endpoint that ignores Want-Digest.
+  auto router = std::make_shared<httpd::Router>();
+  router->Handle(http::Method::kHead, "/f",
+                 [](const http::HttpRequest&, http::HttpResponse* response) {
+                   response->status_code = 200;
+                   response->headers.Set("Content-Length", "4");
+                 });
+  ASSERT_OK_AND_ASSIGN(auto server, httpd::HttpServer::Start({}, router));
+  core::Context context;
+  core::RequestParams params;
+  params.metalink_mode = core::MetalinkMode::kDisabled;
+  core::DavFile file =
+      *core::DavFile::Make(&context, server->BaseUrl() + "/f");
+  Result<std::string> digest = file.GetChecksum(params);
+  ASSERT_FALSE(digest.ok());
+  EXPECT_EQ(digest.status().code(), StatusCode::kNotSupported);
+  server->Stop();
+}
+
+TEST(ChecksumQueryTest, ChecksumChangesWithContent) {
+  TestStorageServer server = StartStorageServer();
+  server.store->Put("/f", "version-1");
+  core::Context context;
+  core::RequestParams params;
+  params.metalink_mode = core::MetalinkMode::kDisabled;
+  core::DavFile file = *core::DavFile::Make(&context, server.UrlFor("/f"));
+  ASSERT_OK_AND_ASSIGN(std::string first, file.GetChecksum(params));
+  server.store->Put("/f", "version-2");
+  ASSERT_OK_AND_ASSIGN(std::string second, file.GetChecksum(params));
+  EXPECT_NE(first, second);
+}
+
+}  // namespace
+}  // namespace davix

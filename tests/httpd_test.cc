@@ -1,0 +1,360 @@
+#include "common/rng.h"
+#include "core/context.h"
+#include "core/http_client.h"
+#include "http/multipart.h"
+#include "http/range.h"
+#include "httpd/object_store.h"
+#include "test_util.h"
+
+#include "gtest/gtest.h"
+
+namespace davix {
+namespace {
+
+using ::davix::testing::StartStorageServer;
+using ::davix::testing::TestStorageServer;
+
+// ------------------------------------------------------------ ObjectStore
+
+TEST(ObjectStoreTest, PutGetDelete) {
+  httpd::ObjectStore store;
+  EXPECT_FALSE(store.Put("/a/b", "data"));  // fresh
+  EXPECT_TRUE(store.Put("/a/b", "data2"));  // overwrite
+  ASSERT_OK_AND_ASSIGN(auto object, store.Get("/a/b"));
+  EXPECT_EQ(object->data, "data2");
+  ASSERT_OK(store.Delete("/a/b"));
+  EXPECT_FALSE(store.Get("/a/b").ok());
+  EXPECT_FALSE(store.Delete("/a/b").ok());
+}
+
+TEST(ObjectStoreTest, PathNormalisation) {
+  httpd::ObjectStore store;
+  store.Put("no-slash", "x");
+  EXPECT_TRUE(store.Get("/no-slash").ok());
+  store.Put("/trail/", "y");
+  EXPECT_TRUE(store.Get("/trail").ok());
+}
+
+TEST(ObjectStoreTest, StatObjectAndCollection) {
+  httpd::ObjectStore store;
+  store.Put("/dir/file", "12345");
+  ASSERT_OK_AND_ASSIGN(auto meta, store.Stat("/dir/file"));
+  EXPECT_EQ(meta.size, 5u);
+  EXPECT_FALSE(meta.is_collection);
+  // Parent collection implicitly created by Put.
+  ASSERT_OK_AND_ASSIGN(meta, store.Stat("/dir"));
+  EXPECT_TRUE(meta.is_collection);
+  ASSERT_OK_AND_ASSIGN(meta, store.Stat("/"));
+  EXPECT_TRUE(meta.is_collection);
+  EXPECT_FALSE(store.Stat("/nope").ok());
+}
+
+TEST(ObjectStoreTest, ListChildren) {
+  httpd::ObjectStore store;
+  store.Put("/d/a", "1");
+  store.Put("/d/b", "2");
+  store.Put("/d/sub/c", "3");
+  ASSERT_OK_AND_ASSIGN(auto children, store.ListChildren("/d"));
+  EXPECT_EQ(children, (std::vector<std::string>{"a", "b", "sub"}));
+  EXPECT_FALSE(store.ListChildren("/missing").ok());
+}
+
+TEST(ObjectStoreTest, DeleteCollectionRecursive) {
+  httpd::ObjectStore store;
+  store.Put("/d/a", "1");
+  store.Put("/d/sub/c", "3");
+  ASSERT_OK(store.Delete("/d"));
+  EXPECT_FALSE(store.Get("/d/a").ok());
+  EXPECT_FALSE(store.Get("/d/sub/c").ok());
+  EXPECT_EQ(store.ObjectCount(), 0u);
+}
+
+TEST(ObjectStoreTest, MoveObject) {
+  httpd::ObjectStore store;
+  store.Put("/x", "data");
+  ASSERT_OK(store.Move("/x", "/y"));
+  EXPECT_FALSE(store.Get("/x").ok());
+  EXPECT_TRUE(store.Get("/y").ok());
+  EXPECT_FALSE(store.Move("/x", "/z").ok());
+}
+
+TEST(ObjectStoreTest, EtagsDiffer) {
+  httpd::ObjectStore store;
+  store.Put("/a", "1");
+  store.Put("/b", "1");
+  ASSERT_OK_AND_ASSIGN(auto a, store.Get("/a"));
+  ASSERT_OK_AND_ASSIGN(auto b, store.Get("/b"));
+  EXPECT_NE(a->etag, b->etag);
+}
+
+// -------------------------------------------------- server integration
+
+class HttpdTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    server_ = StartStorageServer();
+    context_ = std::make_unique<core::Context>();
+    client_ = std::make_unique<core::HttpClient>(context_.get());
+  }
+
+  Result<core::HttpClient::Exchange> Do(
+      http::Method method, const std::string& path,
+      std::string body = std::string(),
+      const http::HeaderMap* headers = nullptr) {
+    auto uri = Uri::Parse(server_.UrlFor(path));
+    EXPECT_TRUE(uri.ok());
+    return client_->Execute(*uri, method, params_, std::move(body), headers);
+  }
+
+  TestStorageServer server_;
+  std::unique_ptr<core::Context> context_;
+  std::unique_ptr<core::HttpClient> client_;
+  core::RequestParams params_;
+};
+
+TEST_F(HttpdTest, PutThenGet) {
+  ASSERT_OK_AND_ASSIGN(auto put, Do(http::Method::kPut, "/f", "hello"));
+  EXPECT_EQ(put.response.status_code, 201);
+  ASSERT_OK_AND_ASSIGN(auto put2, Do(http::Method::kPut, "/f", "hello2"));
+  EXPECT_EQ(put2.response.status_code, 204);  // overwrite
+  ASSERT_OK_AND_ASSIGN(auto get, Do(http::Method::kGet, "/f"));
+  EXPECT_EQ(get.response.status_code, 200);
+  EXPECT_EQ(get.response.body, "hello2");
+  EXPECT_TRUE(get.response.headers.Has("ETag"));
+  EXPECT_TRUE(get.response.headers.Has("Last-Modified"));
+  EXPECT_EQ(get.response.headers.Get("Accept-Ranges"), "bytes");
+}
+
+TEST_F(HttpdTest, GetMissingIs404) {
+  ASSERT_OK_AND_ASSIGN(auto get, Do(http::Method::kGet, "/nope"));
+  EXPECT_EQ(get.response.status_code, 404);
+}
+
+TEST_F(HttpdTest, HeadHasLengthNoBody) {
+  server_.store->Put("/f", std::string(1234, 'x'));
+  ASSERT_OK_AND_ASSIGN(auto head, Do(http::Method::kHead, "/f"));
+  EXPECT_EQ(head.response.status_code, 200);
+  EXPECT_EQ(head.response.headers.GetUint64("Content-Length"), 1234u);
+  EXPECT_TRUE(head.response.body.empty());
+}
+
+TEST_F(HttpdTest, SingleRange206) {
+  server_.store->Put("/f", "0123456789");
+  http::HeaderMap headers;
+  headers.Set("Range", "bytes=2-5");
+  ASSERT_OK_AND_ASSIGN(auto get,
+                       Do(http::Method::kGet, "/f", "", &headers));
+  EXPECT_EQ(get.response.status_code, 206);
+  EXPECT_EQ(get.response.body, "2345");
+  EXPECT_EQ(get.response.headers.Get("Content-Range"), "bytes 2-5/10");
+  EXPECT_EQ(server_.handler->stats().range_requests.load(), 1u);
+}
+
+TEST_F(HttpdTest, MultiRangeMultipart) {
+  server_.store->Put("/f", "0123456789ABCDEF");
+  http::HeaderMap headers;
+  headers.Set("Range", "bytes=0-3,8-11");
+  ASSERT_OK_AND_ASSIGN(auto get,
+                       Do(http::Method::kGet, "/f", "", &headers));
+  EXPECT_EQ(get.response.status_code, 206);
+  std::string content_type = *get.response.headers.Get("Content-Type");
+  ASSERT_OK_AND_ASSIGN(std::string boundary,
+                       http::ExtractBoundary(content_type));
+  ASSERT_OK_AND_ASSIGN(auto parts,
+                       http::ParseMultipartBody(get.response.body, boundary));
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(parts[0].data, "0123");
+  EXPECT_EQ(parts[1].data, "89AB");
+  EXPECT_EQ(parts[0].total_size, 16u);
+  EXPECT_EQ(server_.handler->stats().multirange_requests.load(), 1u);
+  EXPECT_EQ(server_.handler->stats().ranges_served.load(), 2u);
+}
+
+TEST_F(HttpdTest, UnsatisfiableRange416) {
+  server_.store->Put("/f", "0123");
+  http::HeaderMap headers;
+  headers.Set("Range", "bytes=100-200");
+  ASSERT_OK_AND_ASSIGN(auto get,
+                       Do(http::Method::kGet, "/f", "", &headers));
+  EXPECT_EQ(get.response.status_code, 416);
+  EXPECT_EQ(get.response.headers.Get("Content-Range"), "bytes */4");
+}
+
+TEST_F(HttpdTest, MultirangeDisabledServesFullEntity) {
+  server_.handler->set_support_multirange(false);
+  server_.store->Put("/f", "0123456789");
+  http::HeaderMap headers;
+  headers.Set("Range", "bytes=0-1,8-9");
+  ASSERT_OK_AND_ASSIGN(auto get,
+                       Do(http::Method::kGet, "/f", "", &headers));
+  EXPECT_EQ(get.response.status_code, 200);
+  EXPECT_EQ(get.response.body, "0123456789");
+}
+
+TEST_F(HttpdTest, MaxRangesCapYields416) {
+  server_.handler->set_max_ranges_per_request(2);
+  server_.store->Put("/f", "0123456789");
+  http::HeaderMap headers;
+  headers.Set("Range", "bytes=0-0,2-2,4-4");
+  ASSERT_OK_AND_ASSIGN(auto get,
+                       Do(http::Method::kGet, "/f", "", &headers));
+  EXPECT_EQ(get.response.status_code, 416);
+}
+
+TEST_F(HttpdTest, DeleteMkcolMove) {
+  server_.store->Put("/f", "x");
+  ASSERT_OK_AND_ASSIGN(auto del, Do(http::Method::kDelete, "/f"));
+  EXPECT_EQ(del.response.status_code, 204);
+  ASSERT_OK_AND_ASSIGN(auto del2, Do(http::Method::kDelete, "/f"));
+  EXPECT_EQ(del2.response.status_code, 404);
+
+  ASSERT_OK_AND_ASSIGN(auto mkcol, Do(http::Method::kMkcol, "/newdir"));
+  EXPECT_EQ(mkcol.response.status_code, 201);
+
+  server_.store->Put("/src", "move me");
+  http::HeaderMap headers;
+  headers.Set("Destination", "/dst");
+  ASSERT_OK_AND_ASSIGN(auto move,
+                       Do(http::Method::kMove, "/src", "", &headers));
+  EXPECT_EQ(move.response.status_code, 201);
+  EXPECT_TRUE(server_.store->Get("/dst").ok());
+}
+
+TEST_F(HttpdTest, OptionsAdvertisesDav) {
+  ASSERT_OK_AND_ASSIGN(auto options, Do(http::Method::kOptions, "/"));
+  EXPECT_EQ(options.response.status_code, 200);
+  EXPECT_EQ(options.response.headers.Get("DAV"), "1");
+}
+
+TEST_F(HttpdTest, PropfindDepth1ListsChildren) {
+  server_.store->Put("/d/one", "1");
+  server_.store->Put("/d/two", "22");
+  http::HeaderMap headers;
+  headers.Set("Depth", "1");
+  ASSERT_OK_AND_ASSIGN(auto propfind,
+                       Do(http::Method::kPropfind, "/d", "", &headers));
+  EXPECT_EQ(propfind.response.status_code, 207);
+  EXPECT_NE(propfind.response.body.find("/d/one"), std::string::npos);
+  EXPECT_NE(propfind.response.body.find("/d/two"), std::string::npos);
+  EXPECT_NE(propfind.response.body.find("getcontentlength"),
+            std::string::npos);
+}
+
+TEST_F(HttpdTest, KeepAliveReusesConnection) {
+  server_.store->Put("/f", "x");
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_OK_AND_ASSIGN(auto get, Do(http::Method::kGet, "/f"));
+    EXPECT_EQ(get.response.status_code, 200);
+  }
+  // One connection, five requests on it.
+  EXPECT_EQ(server_.server->stats().connections_accepted.load(), 1u);
+  EXPECT_EQ(server_.server->stats().requests_handled.load(), 5u);
+  EXPECT_EQ(server_.server->stats().keepalive_reuses.load(), 4u);
+}
+
+TEST_F(HttpdTest, NoKeepAliveOpensConnectionPerRequest) {
+  params_.keep_alive = false;
+  server_.store->Put("/f", "x");
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_OK_AND_ASSIGN(auto get, Do(http::Method::kGet, "/f"));
+    EXPECT_EQ(get.response.status_code, 200);
+  }
+  EXPECT_EQ(server_.server->stats().connections_accepted.load(), 3u);
+}
+
+TEST_F(HttpdTest, ServerSideKeepaliveDisableForcesClose) {
+  httpd::ServerConfig config;
+  config.enable_keepalive = false;
+  TestStorageServer server = StartStorageServer(config);
+  server.store->Put("/f", "x");
+  core::Context context;
+  core::HttpClient client(&context);
+  auto uri = Uri::Parse(server.UrlFor("/f"));
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_OK_AND_ASSIGN(auto get, client.Execute(*uri, http::Method::kGet,
+                                                  core::RequestParams{}));
+    EXPECT_EQ(get.response.status_code, 200);
+    EXPECT_FALSE(get.response.KeepsConnectionAlive());
+  }
+  EXPECT_EQ(server.server->stats().connections_accepted.load(), 3u);
+}
+
+TEST_F(HttpdTest, InjectedServerErrorIs503) {
+  server_.store->Put("/f", "x");
+  netsim::FaultRule rule;
+  rule.path_prefix = "/f";
+  rule.action = netsim::FaultAction::kServerError;
+  rule.max_hits = 1;
+  server_.server->faults().AddRule(rule);
+  // Retries are on by default: first attempt sees 503? No — HttpClient
+  // only retries transport errors; a 503 response is returned as-is.
+  params_.max_retries = 0;
+  ASSERT_OK_AND_ASSIGN(auto get, Do(http::Method::kGet, "/f"));
+  EXPECT_EQ(get.response.status_code, 503);
+  ASSERT_OK_AND_ASSIGN(auto again, Do(http::Method::kGet, "/f"));
+  EXPECT_EQ(again.response.status_code, 200);  // max_hits exhausted
+}
+
+TEST_F(HttpdTest, RefuseConnectionSurfacesAsTransportError) {
+  server_.store->Put("/f", "x");
+  server_.server->faults().SetServerDown(true);
+  params_.max_retries = 1;
+  params_.retry_delay_micros = 1000;
+  Result<core::HttpClient::Exchange> result = Do(http::Method::kGet, "/f");
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsRetryable());
+  // Server recovers.
+  server_.server->faults().SetServerDown(false);
+  ASSERT_OK_AND_ASSIGN(auto get, Do(http::Method::kGet, "/f"));
+  EXPECT_EQ(get.response.status_code, 200);
+}
+
+TEST_F(HttpdTest, TruncatedBodyDetected) {
+  server_.store->Put("/f", std::string(10000, 'y'));
+  netsim::FaultRule rule;
+  rule.path_prefix = "/f";
+  rule.action = netsim::FaultAction::kTruncateBody;
+  rule.max_hits = 3;  // cover the retries
+  server_.server->faults().AddRule(rule);
+  params_.max_retries = 0;
+  Result<core::HttpClient::Exchange> result = Do(http::Method::kGet, "/f");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kConnectionReset);
+}
+
+TEST_F(HttpdTest, LargeObjectRoundTrip) {
+  Rng rng(42);
+  std::string big = rng.Bytes(4 << 20);
+  ASSERT_OK_AND_ASSIGN(auto put, Do(http::Method::kPut, "/big", big));
+  EXPECT_EQ(put.response.status_code, 201);
+  ASSERT_OK_AND_ASSIGN(auto get, Do(http::Method::kGet, "/big"));
+  EXPECT_EQ(get.response.body, big);
+}
+
+TEST_F(HttpdTest, RouterPrefixFallback404) {
+  ASSERT_OK_AND_ASSIGN(auto uri, Uri::Parse(server_.UrlFor("/f")));
+  // Router covers "/" so this goes to the dav handler; but an unrouted
+  // prefix needs a dedicated router to test 404 routing:
+  auto router = std::make_shared<httpd::Router>();
+  router->Handle(http::Method::kGet, "/only-here",
+                 [](const http::HttpRequest&, http::HttpResponse* response) {
+                   response->status_code = 200;
+                   response->body = "routed";
+                 });
+  ASSERT_OK_AND_ASSIGN(auto server,
+                       httpd::HttpServer::Start({}, router));
+  core::Context context;
+  core::HttpClient client(&context);
+  ASSERT_OK_AND_ASSIGN(
+      auto hit, client.Execute(*Uri::Parse(server->BaseUrl() + "/only-here"),
+                               http::Method::kGet, core::RequestParams{}));
+  EXPECT_EQ(hit.response.status_code, 200);
+  ASSERT_OK_AND_ASSIGN(
+      auto miss, client.Execute(*Uri::Parse(server->BaseUrl() + "/elsewhere"),
+                                http::Method::kGet, core::RequestParams{}));
+  EXPECT_EQ(miss.response.status_code, 404);
+  server->Stop();
+}
+
+}  // namespace
+}  // namespace davix

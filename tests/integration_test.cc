@@ -1,0 +1,224 @@
+// Full-stack integration: a miniature WLCG-like deployment — three
+// storage "sites" (each with an HTTP door and an xrootd door over the
+// same store), a federation serving Metalinks — running the paper's
+// analysis workload end to end, with failures injected mid-run.
+
+#include <atomic>
+#include <thread>
+
+#include "common/checksum.h"
+#include "common/clock.h"
+#include "common/rng.h"
+#include "core/context.h"
+#include "core/dav_file.h"
+#include "core/metalink_engine.h"
+#include "fed/federation_handler.h"
+#include "fed/replica_catalog.h"
+#include "root/analysis_job.h"
+#include "root/transport_adapters.h"
+#include "root/tree_format.h"
+#include "test_util.h"
+#include "xrootd/xrd_client.h"
+#include "xrootd/xrd_server.h"
+
+#include "gtest/gtest.h"
+
+namespace davix {
+namespace {
+
+constexpr char kTreePath[] = "/atlas/run1/events.rnt";
+
+class GridIntegrationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    spec_.n_events = 2000;
+    spec_.events_per_basket = 200;
+    spec_.branches = {{"id", 8}, {"pt", 4}, {"cells", 256}};
+    tree_ = root::BuildTreeFile(spec_, 31337);
+
+    catalog_ = std::make_shared<fed::ReplicaCatalog>();
+    for (int site = 0; site < 3; ++site) {
+      auto store = std::make_shared<httpd::ObjectStore>();
+      store->Put(kTreePath, tree_);
+      sites_.push_back(testing::StartStorageServer());
+      // Replace the default store-backed site with one sharing `store`
+      // for both protocols.
+      sites_.back().store->Put(kTreePath, tree_);
+      auto xrd = xrootd::XrdServer::Start({}, sites_.back().store);
+      ASSERT_TRUE(xrd.ok());
+      xrd_doors_.push_back(std::move(*xrd));
+      catalog_->AddReplica(kTreePath, sites_.back().UrlFor(kTreePath),
+                           site + 1);
+    }
+    catalog_->SetFileMeta(kTreePath, tree_.size(), Md5::HexDigest(tree_));
+    federation_ = std::make_shared<fed::FederationHandler>(catalog_);
+    auto router = std::make_shared<httpd::Router>();
+    federation_->Register(router.get(), "/");
+    auto fed = httpd::HttpServer::Start({}, router);
+    ASSERT_TRUE(fed.ok());
+    fed_server_ = std::move(*fed);
+
+    params_.metalink_mode = core::MetalinkMode::kFailover;
+    params_.metalink_resolver = fed_server_->BaseUrl();
+    params_.max_retries = 0;
+  }
+
+  root::AnalysisConfig JobConfig() {
+    root::AnalysisConfig config;
+    config.compute_iterations_per_event = 1;
+    config.cache.cluster_rows = 2;
+    return config;
+  }
+
+  root::TreeSpec spec_;
+  std::string tree_;
+  std::vector<testing::TestStorageServer> sites_;
+  std::vector<std::unique_ptr<xrootd::XrdServer>> xrd_doors_;
+  std::shared_ptr<fed::ReplicaCatalog> catalog_;
+  std::shared_ptr<fed::FederationHandler> federation_;
+  std::unique_ptr<httpd::HttpServer> fed_server_;
+  core::Context context_;
+  core::RequestParams params_;
+};
+
+TEST_F(GridIntegrationTest, AnalysisOverAllTransportsAgrees) {
+  root::MemoryFile truth(tree_);
+  auto truth_report = root::RunAnalysis(&truth, JobConfig());
+  ASSERT_TRUE(truth_report.ok());
+
+  // davix against every site.
+  for (auto& site : sites_) {
+    auto file = root::DavixRandomAccessFile::Open(
+        &context_, site.UrlFor(kTreePath), params_);
+    ASSERT_TRUE(file.ok()) << file.status().ToString();
+    auto report = root::RunAnalysis(file->get(), JobConfig());
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    EXPECT_EQ(report->physics_sum, truth_report->physics_sum);
+  }
+  // xrootd against every site.
+  for (auto& door : xrd_doors_) {
+    auto client = xrootd::XrdClient::Connect("127.0.0.1", door->port());
+    ASSERT_TRUE(client.ok());
+    ASSERT_OK((*client)->Login());
+    auto file = root::XrdRandomAccessFile::Open(client->get(), kTreePath);
+    ASSERT_TRUE(file.ok());
+    auto report = root::RunAnalysis(file->get(), JobConfig());
+    ASSERT_TRUE(report.ok());
+    EXPECT_EQ(report->physics_sum, truth_report->physics_sum);
+    file->reset();
+  }
+}
+
+TEST_F(GridIntegrationTest, AnalysisSurvivesPrimarySiteOutage) {
+  // Kill site 0 entirely (both doors).
+  sites_[0].server->faults().SetServerDown(true);
+  xrd_doors_[0]->faults().SetServerDown(true);
+
+  auto file = root::DavixRandomAccessFile::Open(
+      &context_, sites_[0].UrlFor(kTreePath), params_);
+  // Open itself already fails over to site 1 via the federation.
+  ASSERT_TRUE(file.ok()) << file.status().ToString();
+  auto report = root::RunAnalysis(file->get(), JobConfig());
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+
+  root::MemoryFile truth(tree_);
+  auto truth_report = root::RunAnalysis(&truth, JobConfig());
+  ASSERT_TRUE(truth_report.ok());
+  EXPECT_EQ(report->physics_sum, truth_report->physics_sum);
+  EXPECT_GE(context_.SnapshotCounters().replica_failovers, 1u);
+}
+
+TEST_F(GridIntegrationTest, AnalysisSurvivesMidRunOutage) {
+  auto file = root::DavixRandomAccessFile::Open(
+      &context_, sites_[0].UrlFor(kTreePath), params_);
+  ASSERT_TRUE(file.ok());
+
+  // Kill the primary after the first cluster loads: a background thread
+  // pulls the plug shortly into the run.
+  std::thread killer([&] {
+    SleepForMicros(20'000);
+    sites_[0].server->faults().SetServerDown(true);
+  });
+  auto report = root::RunAnalysis(file->get(), JobConfig());
+  killer.join();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+
+  root::MemoryFile truth(tree_);
+  auto truth_report = root::RunAnalysis(&truth, JobConfig());
+  EXPECT_EQ(report->physics_sum, truth_report->physics_sum);
+}
+
+TEST_F(GridIntegrationTest, ConcurrentJobsShareOneContext) {
+  std::atomic<int> failures{0};
+  double expected;
+  {
+    root::MemoryFile truth(tree_);
+    auto truth_report = root::RunAnalysis(&truth, JobConfig());
+    ASSERT_TRUE(truth_report.ok());
+    expected = truth_report->physics_sum;
+  }
+  std::vector<std::thread> jobs;
+  for (int j = 0; j < 4; ++j) {
+    jobs.emplace_back([&, j] {
+      auto file = root::DavixRandomAccessFile::Open(
+          &context_, sites_[j % sites_.size()].UrlFor(kTreePath), params_);
+      if (!file.ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      auto report = root::RunAnalysis(file->get(), JobConfig());
+      if (!report.ok() || report->physics_sum != expected) {
+        failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& job : jobs) job.join();
+  EXPECT_EQ(failures.load(), 0);
+  // The §2.2 pool grew with concurrency but recycled across clusters.
+  EXPECT_GT(context_.SnapshotCounters().connections_reused, 0u);
+}
+
+TEST_F(GridIntegrationTest, MultiStreamTreeDownloadBitExact) {
+  core::HttpClient client(&context_);
+  core::MetalinkEngine engine(&client);
+  core::RequestParams params = params_;
+  params.metalink_mode = core::MetalinkMode::kMultiStream;
+  params.multistream_chunk_bytes = 64 * 1024;
+  params.multistream_max_streams = 3;
+  ASSERT_OK_AND_ASSIGN(
+      std::string downloaded,
+      engine.MultiStreamGet(*Uri::Parse(sites_[0].UrlFor(kTreePath)),
+                            params));
+  EXPECT_EQ(downloaded, tree_);
+}
+
+TEST_F(GridIntegrationTest, FederationRedirectModeServesData) {
+  // A client that does not speak Metalink follows the federation's 302
+  // to the best replica and reads normally.
+  core::HttpClient client(&context_);
+  core::RequestParams params;
+  params.metalink_mode = core::MetalinkMode::kDisabled;
+  ASSERT_OK_AND_ASSIGN(
+      auto exchange,
+      client.Execute(*Uri::Parse(fed_server_->BaseUrl() + kTreePath),
+                     http::Method::kGet, params));
+  EXPECT_EQ(exchange.response.status_code, 200);
+  EXPECT_EQ(exchange.response.body, tree_);
+  // The exchange's final URL is the replica, not the federation.
+  EXPECT_NE(exchange.final_url.ToString(),
+            fed_server_->BaseUrl() + kTreePath);
+}
+
+TEST_F(GridIntegrationTest, ChecksumConsistentAcrossReplicas) {
+  for (auto& site : sites_) {
+    core::DavFile file =
+        *core::DavFile::Make(&context_, site.UrlFor(kTreePath));
+    core::RequestParams params;
+    params.metalink_mode = core::MetalinkMode::kDisabled;
+    ASSERT_OK_AND_ASSIGN(std::string digest, file.GetChecksum(params));
+    EXPECT_EQ(digest, Md5::HexDigest(tree_));
+  }
+}
+
+}  // namespace
+}  // namespace davix

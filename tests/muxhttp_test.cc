@@ -1,0 +1,193 @@
+#include <future>
+#include <thread>
+
+#include "common/clock.h"
+#include "common/rng.h"
+#include "httpd/dav_handler.h"
+#include "muxhttp/mux.h"
+#include "net/byte_source.h"
+#include "test_util.h"
+
+#include "gtest/gtest.h"
+
+namespace davix {
+namespace muxhttp {
+namespace {
+
+TEST(MuxFrameTest, RoundTripThroughStringSource) {
+  std::string wire = SerializeMuxFrame(42, "payload-bytes");
+  net::StringSource source(wire);
+  net::BufferedReader reader(&source);
+  ASSERT_OK_AND_ASSIGN(auto frame, ReadMuxFrame(&reader));
+  EXPECT_EQ(frame.first, 42u);
+  EXPECT_EQ(frame.second, "payload-bytes");
+}
+
+TEST(MuxFrameTest, RejectsOversizedFrame) {
+  std::string wire = SerializeMuxFrame(1, "");
+  wire[4] = wire[5] = wire[6] = wire[7] = static_cast<char>(0xFF);
+  net::StringSource source(wire);
+  net::BufferedReader reader(&source);
+  EXPECT_FALSE(ReadMuxFrame(&reader).ok());
+}
+
+TEST(MuxPayloadTest, RequestResponseRoundTrip) {
+  http::HttpRequest request;
+  request.method = http::Method::kPut;
+  request.target = "/x";
+  request.body = "data";
+  ASSERT_OK_AND_ASSIGN(http::HttpRequest parsed,
+                       ParseRequestPayload(request.Serialize()));
+  EXPECT_EQ(parsed.method, http::Method::kPut);
+  EXPECT_EQ(parsed.body, "data");
+
+  http::HttpResponse response;
+  response.status_code = 206;
+  response.body = "partial";
+  ASSERT_OK_AND_ASSIGN(http::HttpResponse parsed_response,
+                       ParseResponsePayload(response.Serialize()));
+  EXPECT_EQ(parsed_response.status_code, 206);
+  EXPECT_EQ(parsed_response.body, "partial");
+}
+
+class MuxServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    store_ = std::make_shared<httpd::ObjectStore>();
+    Rng rng(4);
+    content_ = rng.Bytes(200'000);
+    store_->Put("/f", content_);
+    handler_ = std::make_shared<httpd::DavHandler>(store_);
+    router_ = std::make_shared<httpd::Router>();
+    handler_->Register(router_.get(), "/");
+    auto server = MuxServer::Start({}, router_);
+    ASSERT_TRUE(server.ok());
+    server_ = std::move(*server);
+    auto client = MuxClient::Connect("127.0.0.1", server_->port());
+    ASSERT_TRUE(client.ok());
+    client_ = std::move(*client);
+  }
+
+  http::HttpRequest Get(const std::string& target) {
+    http::HttpRequest request;
+    request.method = http::Method::kGet;
+    request.target = target;
+    request.headers.Set("Host", "mux");
+    return request;
+  }
+
+  std::shared_ptr<httpd::ObjectStore> store_;
+  std::string content_;
+  std::shared_ptr<httpd::DavHandler> handler_;
+  std::shared_ptr<httpd::Router> router_;
+  std::unique_ptr<MuxServer> server_;
+  std::unique_ptr<MuxClient> client_;
+};
+
+TEST_F(MuxServerTest, BasicGetServesDavContent) {
+  ASSERT_OK_AND_ASSIGN(http::HttpResponse response,
+                       client_->Execute(Get("/f")));
+  EXPECT_EQ(response.status_code, 200);
+  EXPECT_EQ(response.body, content_);
+}
+
+TEST_F(MuxServerTest, RangedGetWorksThroughSameHandler) {
+  http::HttpRequest request = Get("/f");
+  request.headers.Set("Range", "bytes=10-19");
+  ASSERT_OK_AND_ASSIGN(http::HttpResponse response,
+                       client_->Execute(request));
+  EXPECT_EQ(response.status_code, 206);
+  EXPECT_EQ(response.body, content_.substr(10, 10));
+}
+
+TEST_F(MuxServerTest, PutThenGetOnOneConnection) {
+  http::HttpRequest put;
+  put.method = http::Method::kPut;
+  put.target = "/new";
+  put.body = "uploaded-via-mux";
+  ASSERT_OK_AND_ASSIGN(http::HttpResponse response, client_->Execute(put));
+  EXPECT_EQ(response.status_code, 201);
+  ASSERT_OK_AND_ASSIGN(http::HttpResponse get, client_->Execute(Get("/new")));
+  EXPECT_EQ(get.body, "uploaded-via-mux");
+  // All of it on one TCP connection.
+  EXPECT_EQ(server_->stats().connections_accepted.load(), 1u);
+}
+
+TEST_F(MuxServerTest, ManyOutstandingStreamsCompleteOutOfOrder) {
+  // A slow route plus many fast ones; the fast responses must not wait
+  // for the slow stream (no head-of-line blocking).
+  router_->Handle(http::Method::kGet, "/slow",
+                  [](const http::HttpRequest&, http::HttpResponse* response) {
+                    SleepForMicros(300'000);
+                    response->status_code = 200;
+                    response->body = "slow";
+                  });
+  Stopwatch stopwatch;
+  auto slow = client_->ExecuteAsync(Get("/slow"));
+  std::vector<std::future<Result<http::HttpResponse>>> fast;
+  for (int i = 0; i < 8; ++i) fast.push_back(client_->ExecuteAsync(Get("/f")));
+  for (auto& future : fast) {
+    ASSERT_OK_AND_ASSIGN(http::HttpResponse response, future.get());
+    EXPECT_EQ(response.status_code, 200);
+  }
+  double fast_done = stopwatch.ElapsedSeconds();
+  ASSERT_OK_AND_ASSIGN(http::HttpResponse slow_response, slow.get());
+  EXPECT_EQ(slow_response.body, "slow");
+  EXPECT_LT(fast_done, 0.25);  // finished while /slow still pending
+}
+
+TEST_F(MuxServerTest, ConcurrentThreadsShareConnection) {
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 10; ++i) {
+        auto response = client_->Execute(Get("/f"));
+        if (!response.ok() || response->status_code != 200 ||
+            response->body != content_) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(server_->stats().connections_accepted.load(), 1u);
+  EXPECT_EQ(server_->stats().requests_handled.load(), 40u);
+}
+
+TEST_F(MuxServerTest, MalformedRequestPayloadGets400) {
+  // Hand-roll a frame whose payload is not valid HTTP.
+  net::TcpSocket raw =
+      std::move(net::TcpSocket::Connect(
+                    *net::SocketAddress::Resolve("127.0.0.1",
+                                                 server_->port())))
+          .value();
+  ASSERT_OK(raw.WriteAll(SerializeMuxFrame(9, "NOT HTTP AT ALL")));
+  net::BufferedReader reader(&raw, 2'000'000);
+  ASSERT_OK_AND_ASSIGN(auto frame, ReadMuxFrame(&reader));
+  EXPECT_EQ(frame.first, 9u);
+  ASSERT_OK_AND_ASSIGN(http::HttpResponse response,
+                       ParseResponsePayload(std::move(frame.second)));
+  EXPECT_EQ(response.status_code, 400);
+}
+
+TEST_F(MuxServerTest, ServerStopFailsPending) {
+  router_->Handle(http::Method::kGet, "/hang",
+                  [](const http::HttpRequest&, http::HttpResponse* response) {
+                    SleepForMicros(100'000);
+                    response->status_code = 200;
+                  });
+  auto pending = client_->ExecuteAsync(Get("/hang"));
+  server_->Stop();
+  Result<http::HttpResponse> result = pending.get();
+  // Either it squeaked through before the stop or it failed cleanly.
+  if (!result.ok()) {
+    EXPECT_TRUE(result.status().code() == StatusCode::kConnectionReset ||
+                result.status().code() == StatusCode::kTimeout);
+  }
+}
+
+}  // namespace
+}  // namespace muxhttp
+}  // namespace davix

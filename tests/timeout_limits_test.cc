@@ -1,0 +1,205 @@
+// Deadline and limit behaviour across the stack: operation timeouts on
+// stalled servers, connect timeouts, shaper maths properties, and store
+// concurrency — the paths that only show up when something is slow.
+
+#include <thread>
+
+#include "common/clock.h"
+#include "common/rng.h"
+#include "core/context.h"
+#include "core/http_client.h"
+#include "muxhttp/mux.h"
+#include "netsim/shaper.h"
+#include "test_util.h"
+#include "xrootd/xrd_client.h"
+#include "xrootd/xrd_server.h"
+
+#include "gtest/gtest.h"
+
+namespace davix {
+namespace {
+
+using ::davix::testing::StartStorageServer;
+using ::davix::testing::TestStorageServer;
+
+// ------------------------------------------------------- client deadlines
+
+TEST(TimeoutTest, StalledServerHitsOperationTimeout) {
+  TestStorageServer server = StartStorageServer();
+  server.store->Put("/f", "x");
+  netsim::FaultRule stall;
+  stall.path_prefix = "/f";
+  stall.action = netsim::FaultAction::kStall;
+  stall.stall_micros = 2'000'000;
+  server.server->faults().AddRule(stall);
+
+  core::Context context;
+  core::HttpClient client(&context);
+  core::RequestParams params;
+  params.operation_timeout_micros = 150'000;
+  params.max_retries = 0;
+  Stopwatch stopwatch;
+  Result<core::HttpClient::Exchange> result = client.Execute(
+      *Uri::Parse(server.UrlFor("/f")), http::Method::kGet, params);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kTimeout);
+  // The client gave up near its deadline, well before the 2 s stall.
+  EXPECT_LT(stopwatch.ElapsedSeconds(), 1.0);
+}
+
+TEST(TimeoutTest, ConnectTimeoutOnBlackholedPort) {
+  core::Context context;
+  core::RequestParams params;
+  params.connect_timeout_micros = 100'000;
+  // Port 1 on loopback refuses instantly (no blackhole available in a
+  // container), so this mostly exercises the error path + context.
+  Result<std::unique_ptr<core::Session>> session =
+      context.pool().Acquire(*Uri::Parse("http://127.0.0.1:1/"), params);
+  ASSERT_FALSE(session.ok());
+  EXPECT_EQ(session.status().code(), StatusCode::kConnectionFailed);
+}
+
+TEST(TimeoutTest, RetriesRespectBudgetAndDelay) {
+  TestStorageServer server = StartStorageServer();
+  server.store->Put("/f", "x");
+  server.server->faults().SetServerDown(true);
+  core::Context context;
+  core::HttpClient client(&context);
+  core::RequestParams params;
+  params.max_retries = 3;
+  params.retry_delay_micros = 10'000;
+  Result<core::HttpClient::Exchange> result = client.Execute(
+      *Uri::Parse(server.UrlFor("/f")), http::Method::kGet, params);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(context.SnapshotCounters().retries, 3u);
+}
+
+TEST(TimeoutTest, XrdClientTimesOutOnStalledServer) {
+  auto store = std::make_shared<httpd::ObjectStore>();
+  store->Put("/f", "data");
+  auto server = xrootd::XrdServer::Start({}, store);
+  ASSERT_TRUE(server.ok());
+  xrootd::XrdClientConfig config;
+  config.operation_timeout_micros = 150'000;
+  auto client =
+      xrootd::XrdClient::Connect("127.0.0.1", (*server)->port(), config);
+  ASSERT_TRUE(client.ok());
+  ASSERT_OK((*client)->Login());
+  // Take the server down *between* requests: the next request gets no
+  // response and must fail by deadline instead of hanging.
+  (*server)->faults().SetServerDown(true);
+  Stopwatch stopwatch;
+  Result<xrootd::OpenInfo> open = (*client)->Open("/f");
+  EXPECT_FALSE(open.ok());
+  EXPECT_LT(stopwatch.ElapsedSeconds(), 2.0);
+}
+
+TEST(TimeoutTest, MuxClientConnectToDeadPortFails) {
+  Result<std::unique_ptr<muxhttp::MuxClient>> client =
+      muxhttp::MuxClient::Connect("127.0.0.1", 1);
+  EXPECT_FALSE(client.ok());
+}
+
+// ------------------------------------------------------ shaper properties
+
+class ShaperPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ShaperPropertyTest, TransferMonotoneAndWindowBounded) {
+  Rng rng(GetParam());
+  netsim::LinkProfile profile;
+  profile.rtt_micros = 1000 + static_cast<int64_t>(rng.Below(200'000));
+  profile.bandwidth_bytes_per_sec =
+      1'000'000 + static_cast<int64_t>(rng.Below(200'000'000));
+  profile.init_cwnd_bytes = 1460 * (1 + static_cast<int64_t>(rng.Below(20)));
+  profile.max_cwnd_bytes =
+      profile.init_cwnd_bytes * (1 + static_cast<int64_t>(rng.Below(64)));
+
+  int64_t prev_time = 0;
+  int64_t cwnd = profile.init_cwnd_bytes;
+  for (int64_t bytes : {0, 100, 10'000, 1'000'000, 4'000'000}) {
+    int64_t fresh_cwnd = profile.init_cwnd_bytes;
+    int64_t t = netsim::ConnectionShaper::TransferMicros(profile, bytes,
+                                                         &fresh_cwnd);
+    // Monotone in size.
+    EXPECT_GE(t, prev_time);
+    prev_time = t;
+    // Window never exceeds the cap and never shrinks.
+    EXPECT_LE(fresh_cwnd, profile.max_cwnd_bytes);
+    EXPECT_GE(fresh_cwnd, profile.init_cwnd_bytes);
+  }
+
+  // Warm transfers never take longer than cold ones of the same size.
+  int64_t cold_cwnd = profile.init_cwnd_bytes;
+  int64_t cold = netsim::ConnectionShaper::TransferMicros(profile, 2'000'000,
+                                                          &cold_cwnd);
+  int64_t warm = netsim::ConnectionShaper::TransferMicros(profile, 2'000'000,
+                                                          &cold_cwnd);
+  EXPECT_LE(warm, cold);
+  (void)cwnd;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ShaperPropertyTest,
+                         ::testing::Range<uint64_t>(1, 33));
+
+// ------------------------------------------------------- store concurrency
+
+TEST(ObjectStoreConcurrencyTest, ParallelMixedOperations) {
+  httpd::ObjectStore store;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(100 + t);
+      for (int i = 0; i < 50; ++i) {
+        std::string path = "/d/f" + std::to_string(rng.Below(20));
+        switch (rng.Below(4)) {
+          case 0:
+            store.Put(path, rng.Bytes(100));
+            break;
+          case 1:
+            (void)store.Get(path);
+            break;
+          case 2:
+            (void)store.Stat(path);
+            break;
+          default:
+            (void)store.Delete(path);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  // Store is still coherent.
+  store.Put("/final", "ok");
+  ASSERT_OK_AND_ASSIGN(auto object, store.Get("/final"));
+  EXPECT_EQ(object->data, "ok");
+}
+
+// --------------------------------------------------- pool under churn
+
+TEST(PoolChurnTest, ServerRestartsBetweenBursts) {
+  // Simulates a flapping server: bursts of requests with the server
+  // going down and up between them; the context keeps working.
+  TestStorageServer server = StartStorageServer();
+  server.store->Put("/f", "flap");
+  core::Context context;
+  core::HttpClient client(&context);
+  core::RequestParams params;
+  params.max_retries = 0;
+  Uri uri = *Uri::Parse(server.UrlFor("/f"));
+
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 4; ++i) {
+      ASSERT_OK_AND_ASSIGN(auto exchange,
+                           client.Execute(uri, http::Method::kGet, params));
+      EXPECT_EQ(exchange.response.status_code, 200);
+    }
+    server.server->faults().SetServerDown(true);
+    EXPECT_FALSE(client.Execute(uri, http::Method::kGet, params).ok());
+    server.server->faults().SetServerDown(false);
+  }
+}
+
+}  // namespace
+}  // namespace davix

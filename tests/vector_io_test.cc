@@ -1,0 +1,180 @@
+#include <algorithm>
+
+#include "common/rng.h"
+#include "core/vector_io.h"
+#include "test_util.h"
+
+#include "gtest/gtest.h"
+
+namespace davix {
+namespace core {
+namespace {
+
+using http::ByteRange;
+
+TEST(CoalesceTest, EmptyInput) {
+  EXPECT_TRUE(CoalesceRanges({}, 0).empty());
+}
+
+TEST(CoalesceTest, SingleRangePassesThrough) {
+  auto out = CoalesceRanges({{100, 50}}, 0);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].range, (ByteRange{100, 50}));
+  EXPECT_EQ(out[0].sources, std::vector<size_t>{0});
+}
+
+TEST(CoalesceTest, AdjacentRangesMergeWithZeroGap) {
+  auto out = CoalesceRanges({{0, 10}, {10, 10}}, 0);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].range, (ByteRange{0, 20}));
+}
+
+TEST(CoalesceTest, GapRespected) {
+  // 5-byte gap: merged when max_gap >= 5, separate when smaller.
+  auto merged = CoalesceRanges({{0, 10}, {15, 10}}, 5);
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0].range, (ByteRange{0, 25}));
+
+  auto split = CoalesceRanges({{0, 10}, {15, 10}}, 4);
+  ASSERT_EQ(split.size(), 2u);
+}
+
+TEST(CoalesceTest, UnsortedAndOverlappingInputs) {
+  auto out = CoalesceRanges({{50, 30}, {0, 10}, {60, 40}, {5, 10}}, 0);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].range, (ByteRange{0, 15}));
+  EXPECT_EQ(out[1].range, (ByteRange{50, 50}));
+  // All four sources accounted for.
+  size_t total_sources = out[0].sources.size() + out[1].sources.size();
+  EXPECT_EQ(total_sources, 4u);
+}
+
+TEST(CoalesceTest, ZeroLengthRangesSkipped) {
+  auto out = CoalesceRanges({{10, 0}, {20, 5}}, 0);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].sources, std::vector<size_t>{1});
+}
+
+TEST(CoalesceTest, DuplicateRangesShareWireRange) {
+  auto out = CoalesceRanges({{7, 3}, {7, 3}, {7, 3}}, 0);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].sources.size(), 3u);
+}
+
+TEST(SplitBatchesTest, RespectsCap) {
+  std::vector<CoalescedRange> wire(10);
+  for (size_t i = 0; i < wire.size(); ++i) {
+    wire[i].range = {i * 100, 10};
+  }
+  auto batches = SplitBatches(wire, 4);
+  ASSERT_EQ(batches.size(), 3u);
+  EXPECT_EQ(batches[0].size(), 4u);
+  EXPECT_EQ(batches[1].size(), 4u);
+  EXPECT_EQ(batches[2].size(), 2u);
+}
+
+TEST(SplitBatchesTest, ZeroCapActsAsOne) {
+  std::vector<CoalescedRange> wire(3);
+  EXPECT_EQ(SplitBatches(wire, 0).size(), 3u);
+}
+
+TEST(ScatterTest, FillsUserSlots) {
+  std::vector<ByteRange> requested = {{10, 5}, {20, 5}};
+  auto wire_ranges = CoalesceRanges(requested, 100);
+  ASSERT_EQ(wire_ranges.size(), 1u);
+  // Wire range covers [10, 25): 15 bytes.
+  std::string data = "ABCDEFGHIJKLMNO";
+  std::vector<std::string> results(2);
+  ASSERT_OK(ScatterWireRange(wire_ranges[0], data, requested, &results));
+  EXPECT_EQ(results[0], "ABCDE");
+  EXPECT_EQ(results[1], "KLMNO");
+}
+
+TEST(ScatterTest, SizeMismatchRejected) {
+  std::vector<ByteRange> requested = {{0, 5}};
+  auto wire = CoalesceRanges(requested, 0);
+  std::vector<std::string> results(1);
+  EXPECT_FALSE(ScatterWireRange(wire[0], "toolongdata", requested, &results)
+                   .ok());
+}
+
+// Property suite: coalescing invariants over random workloads.
+class CoalescePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CoalescePropertyTest, Invariants) {
+  Rng rng(GetParam());
+  uint64_t max_gap = rng.Below(4096);
+  size_t n = 1 + rng.Below(200);
+  std::vector<ByteRange> requested;
+  for (size_t i = 0; i < n; ++i) {
+    requested.push_back(
+        ByteRange{rng.Below(1 << 20), rng.Below(2048)});  // may be empty
+  }
+  auto wire = CoalesceRanges(requested, max_gap);
+
+  // (1) Sorted, disjoint, gaps > max_gap.
+  for (size_t i = 1; i < wire.size(); ++i) {
+    uint64_t prev_end = wire[i - 1].range.offset + wire[i - 1].range.length;
+    EXPECT_GT(wire[i].range.offset, prev_end + max_gap);
+  }
+
+  // (2) Every non-empty user range is covered by exactly one wire range.
+  std::vector<int> covered(requested.size(), 0);
+  for (const CoalescedRange& w : wire) {
+    for (size_t idx : w.sources) {
+      ++covered[idx];
+      EXPECT_GE(requested[idx].offset, w.range.offset);
+      EXPECT_LE(requested[idx].offset + requested[idx].length,
+                w.range.offset + w.range.length);
+    }
+  }
+  for (size_t i = 0; i < requested.size(); ++i) {
+    EXPECT_EQ(covered[i], requested[i].length == 0 ? 0 : 1) << "index " << i;
+  }
+
+  // (3) Wire bytes bounded by user bytes + permitted gap waste.
+  uint64_t wire_bytes = 0;
+  for (const CoalescedRange& w : wire) wire_bytes += w.range.length;
+  uint64_t user_bytes = 0;
+  for (const ByteRange& r : requested) user_bytes += r.length;
+  uint64_t gap_allowance = wire.empty() ? 0 : (n - 1) * max_gap;
+  EXPECT_LE(wire_bytes, user_bytes + gap_allowance);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CoalescePropertyTest,
+                         ::testing::Range<uint64_t>(1, 65));
+
+// Property: scatter reconstructs exactly the user bytes from a synthetic
+// resource, over random plans.
+class ScatterPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ScatterPropertyTest, ReconstructsUserBytes) {
+  Rng rng(GetParam());
+  std::string resource = rng.Bytes(1 << 16);
+  size_t n = 1 + rng.Below(50);
+  std::vector<ByteRange> requested;
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t offset = rng.Below(resource.size() - 1);
+    uint64_t length = 1 + rng.Below(resource.size() - offset);
+    requested.push_back(ByteRange{offset, length});
+  }
+  uint64_t max_gap = rng.Below(1024);
+  auto wire = CoalesceRanges(requested, max_gap);
+  std::vector<std::string> results(requested.size());
+  for (const CoalescedRange& w : wire) {
+    ASSERT_OK(ScatterWireRange(
+        w, std::string_view(resource).substr(w.range.offset, w.range.length),
+        requested, &results));
+  }
+  for (size_t i = 0; i < requested.size(); ++i) {
+    EXPECT_EQ(results[i], resource.substr(requested[i].offset,
+                                          requested[i].length));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScatterPropertyTest,
+                         ::testing::Range<uint64_t>(1, 33));
+
+}  // namespace
+}  // namespace core
+}  // namespace davix

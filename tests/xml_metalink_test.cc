@@ -1,0 +1,199 @@
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "metalink/metalink.h"
+#include "test_util.h"
+#include "xml/xml.h"
+
+#include "gtest/gtest.h"
+
+namespace davix {
+namespace {
+
+// -------------------------------------------------------------------- XML
+
+TEST(XmlTest, ParsesSimpleDocument) {
+  ASSERT_OK_AND_ASSIGN(auto root,
+                       xml::ParseXml("<a x=\"1\"><b>text</b><c/></a>"));
+  EXPECT_EQ(root->name(), "a");
+  EXPECT_EQ(root->GetAttribute("x"), "1");
+  ASSERT_NE(root->FirstChild("b"), nullptr);
+  EXPECT_EQ(root->FirstChild("b")->text(), "text");
+  ASSERT_NE(root->FirstChild("c"), nullptr);
+  EXPECT_TRUE(root->FirstChild("c")->children().empty());
+}
+
+TEST(XmlTest, SkipsPrologDoctypeComments) {
+  ASSERT_OK_AND_ASSIGN(
+      auto root,
+      xml::ParseXml("<?xml version=\"1.0\"?>\n<!DOCTYPE x>\n"
+                    "<!-- comment -->\n<root><!-- inner --><a/></root>"));
+  EXPECT_EQ(root->name(), "root");
+  EXPECT_EQ(root->children().size(), 1u);
+}
+
+TEST(XmlTest, EntityUnescaping) {
+  ASSERT_OK_AND_ASSIGN(auto root,
+                       xml::ParseXml("<t>&lt;&amp;&gt;&quot;&apos;&#65;</t>"));
+  EXPECT_EQ(root->text(), "<&>\"'A");
+}
+
+TEST(XmlTest, CdataPreserved) {
+  ASSERT_OK_AND_ASSIGN(auto root,
+                       xml::ParseXml("<t><![CDATA[a<b>&c]]></t>"));
+  EXPECT_EQ(root->text(), "a<b>&c");
+}
+
+TEST(XmlTest, NamespacePrefixesMatchedOnLocalName) {
+  ASSERT_OK_AND_ASSIGN(
+      auto root,
+      xml::ParseXml("<D:multistatus xmlns:D=\"DAV:\"><D:response/>"
+                    "</D:multistatus>"));
+  EXPECT_NE(root->FirstChild("response"), nullptr);
+  EXPECT_EQ(root->Children("response").size(), 1u);
+}
+
+TEST(XmlTest, RejectsMalformed) {
+  EXPECT_FALSE(xml::ParseXml("").ok());
+  EXPECT_FALSE(xml::ParseXml("<a>").ok());
+  EXPECT_FALSE(xml::ParseXml("<a></b>").ok());
+  EXPECT_FALSE(xml::ParseXml("<a x=1></a>").ok());
+  EXPECT_FALSE(xml::ParseXml("<a>&unknown;</a>").ok());
+  EXPECT_FALSE(xml::ParseXml("<a/><b/>").ok());  // two roots
+}
+
+TEST(XmlTest, SerializeEscapes) {
+  xml::XmlNode node("t");
+  node.set_text("a<b>&\"'");
+  node.SetAttribute("k", "v<&>");
+  std::string out = node.Serialize();
+  EXPECT_EQ(out, "<t k=\"v&lt;&amp;&gt;\">a&lt;b&gt;&amp;&quot;&apos;</t>");
+}
+
+TEST(XmlTest, SerializeParseRoundTrip) {
+  xml::XmlNode root("metalink");
+  root.SetAttribute("xmlns", "urn:example");
+  xml::XmlNode* file = root.AddChild("file");
+  file->SetAttribute("name", "a&b.root");
+  file->AddChild("size")->set_text("123");
+  xml::XmlNode* url = file->AddChild("url");
+  url->SetAttribute("priority", "2");
+  url->set_text("http://h:1/p?x=<1>");
+
+  ASSERT_OK_AND_ASSIGN(auto parsed, xml::ParseXml(root.Serialize(2)));
+  EXPECT_EQ(parsed->name(), "metalink");
+  const xml::XmlNode* parsed_file = parsed->FirstChild("file");
+  ASSERT_NE(parsed_file, nullptr);
+  EXPECT_EQ(parsed_file->GetAttribute("name"), "a&b.root");
+  EXPECT_EQ(parsed_file->ChildText("size"), "123");
+  EXPECT_EQ(std::string(TrimWhitespace(
+                parsed_file->FirstChild("url")->text())),
+            "http://h:1/p?x=<1>");
+}
+
+TEST(XmlTest, ChildTextTrimsWhitespace) {
+  ASSERT_OK_AND_ASSIGN(auto root, xml::ParseXml("<a><b>\n  v  \n</b></a>"));
+  EXPECT_EQ(root->ChildText("b"), "v");
+  EXPECT_EQ(root->ChildText("missing"), "");
+}
+
+// --------------------------------------------------------------- Metalink
+
+constexpr char kSampleMetalink[] = R"(<?xml version="1.0" encoding="UTF-8"?>
+<metalink xmlns="urn:ietf:params:xml:ns:metalink">
+  <file name="events.root">
+    <size>1048576</size>
+    <hash type="md5">0123456789abcdef0123456789abcdef</hash>
+    <hash type="sha-256">ignored</hash>
+    <url priority="2" location="us">http://bnl.example:80/events.root</url>
+    <url priority="1" location="ch">http://cern.example:80/events.root</url>
+    <url priority="3">http://glasgow.example:80/events.root</url>
+  </file>
+</metalink>)";
+
+TEST(MetalinkTest, ParsesSample) {
+  ASSERT_OK_AND_ASSIGN(metalink::MetalinkFile file,
+                       metalink::ParseMetalink(kSampleMetalink));
+  EXPECT_EQ(file.name, "events.root");
+  EXPECT_EQ(file.size, 1048576u);
+  EXPECT_EQ(file.md5, "0123456789abcdef0123456789abcdef");
+  ASSERT_EQ(file.replicas.size(), 3u);
+}
+
+TEST(MetalinkTest, SortedReplicasByPriority) {
+  ASSERT_OK_AND_ASSIGN(metalink::MetalinkFile file,
+                       metalink::ParseMetalink(kSampleMetalink));
+  std::vector<metalink::Replica> sorted = file.SortedReplicas();
+  EXPECT_EQ(sorted[0].url, "http://cern.example:80/events.root");
+  EXPECT_EQ(sorted[1].url, "http://bnl.example:80/events.root");
+  EXPECT_EQ(sorted[2].url, "http://glasgow.example:80/events.root");
+  EXPECT_EQ(sorted[0].location, "ch");
+}
+
+TEST(MetalinkTest, RejectsNonMetalink) {
+  EXPECT_FALSE(metalink::ParseMetalink("<html></html>").ok());
+  EXPECT_FALSE(
+      metalink::ParseMetalink("<metalink></metalink>").ok());  // no file
+  EXPECT_FALSE(metalink::ParseMetalink(
+                   "<metalink><file name=\"x\"></file></metalink>")
+                   .ok());  // no urls
+}
+
+TEST(MetalinkTest, WriteParseRoundTrip) {
+  metalink::MetalinkFile file;
+  file.name = "data set.root";  // space must survive escaping
+  file.size = 777;
+  file.md5 = "aabbccddeeff00112233445566778899";
+  for (int i = 0; i < 4; ++i) {
+    metalink::Replica replica;
+    replica.url = "http://replica" + std::to_string(i) + ".example/d?x=a&b=c";
+    replica.priority = 4 - i;
+    replica.location = i % 2 == 0 ? "ch" : "us";
+    file.replicas.push_back(replica);
+  }
+  ASSERT_OK_AND_ASSIGN(metalink::MetalinkFile parsed,
+                       metalink::ParseMetalink(metalink::WriteMetalink(file)));
+  EXPECT_EQ(parsed.name, file.name);
+  EXPECT_EQ(parsed.size, file.size);
+  EXPECT_EQ(parsed.md5, file.md5);
+  ASSERT_EQ(parsed.replicas.size(), file.replicas.size());
+  for (size_t i = 0; i < file.replicas.size(); ++i) {
+    EXPECT_EQ(parsed.replicas[i].url, file.replicas[i].url);
+    EXPECT_EQ(parsed.replicas[i].priority, file.replicas[i].priority);
+    EXPECT_EQ(parsed.replicas[i].location, file.replicas[i].location);
+  }
+}
+
+// Property: round trip over randomised metalinks.
+class MetalinkRoundTripTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MetalinkRoundTripTest, WriteParseIdentity) {
+  Rng rng(GetParam());
+  metalink::MetalinkFile file;
+  file.name = "file" + std::to_string(rng.Below(1000)) + ".root";
+  file.size = rng.Below(1ull << 40);
+  size_t n = 1 + rng.Below(6);
+  for (size_t i = 0; i < n; ++i) {
+    metalink::Replica replica;
+    replica.url = "http://host" + std::to_string(rng.Below(100)) + ":" +
+                  std::to_string(1 + rng.Below(65535)) + "/p" +
+                  std::to_string(i);
+    replica.priority = static_cast<int>(1 + rng.Below(99));
+    file.replicas.push_back(replica);
+  }
+  ASSERT_OK_AND_ASSIGN(metalink::MetalinkFile parsed,
+                       metalink::ParseMetalink(metalink::WriteMetalink(file)));
+  EXPECT_EQ(parsed.size, file.size);
+  ASSERT_EQ(parsed.replicas.size(), file.replicas.size());
+  std::vector<metalink::Replica> lhs = file.SortedReplicas();
+  std::vector<metalink::Replica> rhs = parsed.SortedReplicas();
+  for (size_t i = 0; i < lhs.size(); ++i) {
+    EXPECT_EQ(lhs[i].url, rhs[i].url);
+    EXPECT_EQ(lhs[i].priority, rhs[i].priority);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MetalinkRoundTripTest,
+                         ::testing::Range<uint64_t>(1, 25));
+
+}  // namespace
+}  // namespace davix
