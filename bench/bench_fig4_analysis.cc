@@ -12,7 +12,7 @@
 // ahead, parity at PAN, XRootD ahead by ~10-25 % at WAN thanks to its
 // overlapped (sliding-window) prefetch.
 //
-// Usage: bench_fig4_analysis [--reps N] [--fractions] [--quick]
+// Usage: bench_fig4_analysis [--reps N] [--fractions] [--quick] [--smoke]
 
 #include <cstring>
 
@@ -204,6 +204,11 @@ int Main(int argc, char** argv) {
       fractions = true;
     } else if (std::strcmp(argv[i], "--quick") == 0) {
       quick = true;
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      // CI smoke mode: smallest dataset, one repetition, no fractions.
+      quick = true;
+      fractions = false;
+      reps = 1;
     }
   }
   if (reps < 1) reps = 1;

@@ -6,6 +6,8 @@
 namespace davix {
 namespace net {
 
+ByteSource::~ByteSource() = default;
+
 Result<size_t> StringSource::Read(char* buf, size_t len,
                                   int64_t /*timeout_micros*/) {
   size_t take = std::min(len, data_.size() - pos_);

@@ -14,7 +14,10 @@ namespace net {
 /// buffer (frame payloads, tests).
 class ByteSource {
  public:
-  virtual ~ByteSource() = default;
+  // Out-of-line so the vtable has a key function and is emitted once in
+  // byte_source.cc instead of weakly in every TU that uses a derived
+  // class (TcpSocket, StringSource).
+  virtual ~ByteSource();
 
   /// Reads up to `len` bytes. Returns 0 on end of stream.
   virtual Result<size_t> Read(char* buf, size_t len,

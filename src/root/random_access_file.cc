@@ -4,6 +4,9 @@
 
 namespace davix {
 namespace root {
+
+PendingVecRead::~PendingVecRead() = default;
+
 namespace {
 
 /// Already-completed token wrapping a synchronous result.

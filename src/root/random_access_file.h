@@ -15,7 +15,8 @@ namespace root {
 /// Completion token of an asynchronous vectored read.
 class PendingVecRead {
  public:
-  virtual ~PendingVecRead() = default;
+  // Out-of-line key-function anchor; see ByteSource.
+  virtual ~PendingVecRead();
   /// Blocks until the read completes; results[i] holds ranges[i]'s bytes.
   virtual Result<std::vector<std::string>> Wait() = 0;
 };
