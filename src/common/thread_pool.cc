@@ -57,4 +57,34 @@ void ParallelFor(size_t n, size_t parallelism,
   for (std::thread& t : pool) t.join();
 }
 
+bool ParallelForCancellable(size_t n, size_t parallelism,
+                            const std::function<bool(size_t)>& fn) {
+  if (n == 0) return true;
+  size_t threads = std::min(std::max<size_t>(1, parallelism), n);
+  if (threads == 1) {
+    for (size_t i = 0; i < n; ++i) {
+      if (!fn(i)) return false;
+    }
+    return true;
+  }
+  std::atomic<size_t> next{0};
+  std::atomic<bool> cancelled{false};
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (size_t t = 0; t < threads; ++t) {
+    pool.emplace_back([&] {
+      while (!cancelled.load(std::memory_order_acquire)) {
+        size_t i = next.fetch_add(1);
+        if (i >= n) return;
+        if (!fn(i)) {
+          cancelled.store(true, std::memory_order_release);
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  return !cancelled.load(std::memory_order_relaxed);
+}
+
 }  // namespace davix

@@ -43,6 +43,14 @@ class ThreadPool {
 void ParallelFor(size_t n, size_t parallelism,
                  const std::function<void(size_t)>& fn);
 
+/// Like ParallelFor, but `fn` returning false requests cancellation:
+/// indices no worker has claimed yet are skipped, while calls already in
+/// flight run to completion. Returns true iff every index ran and
+/// returned true — the first-error-cancellation primitive behind the
+/// parallel vectored-read dispatcher.
+bool ParallelForCancellable(size_t n, size_t parallelism,
+                            const std::function<bool(size_t)>& fn);
+
 }  // namespace davix
 
 #endif  // DAVIX_COMMON_THREAD_POOL_H_

@@ -1,10 +1,14 @@
 #include "core/dav_file.h"
 
 #include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <unordered_map>
 
 #include "common/base64.h"
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 #include "core/metalink_engine.h"
 #include "core/vector_io.h"
 #include "http/multipart.h"
@@ -12,6 +16,20 @@
 
 namespace davix {
 namespace core {
+
+/// Shared state of one parallel vectored dispatch: every batch worker
+/// reports errors here, and the first batch to receive a 200 (server
+/// ignored the Range header) parks the full entity for its siblings.
+struct VecDispatchState {
+  std::mutex mu;
+  Status first_error = Status::OK();
+  std::atomic<bool> failed{false};
+  /// Written once under `mu`, then read-only; readers gate on the
+  /// acquire-load of `have_full_body`.
+  std::string full_body;
+  std::atomic<bool> have_full_body{false};
+};
+
 namespace {
 
 /// Failures that justify looking for another replica (§2.4): anything
@@ -29,6 +47,24 @@ bool ShouldFailover(const Status& status) {
     default:
       return false;
   }
+}
+
+/// Satisfies every wire range of `batch` from a full-entity body (the
+/// 200-fallback: once the server has sent everything, all remaining
+/// batches demote to local scatter — single-stream, no wire traffic).
+Status ScatterFromFullBody(const std::vector<CoalescedRange>& batch,
+                           std::string_view full_body,
+                           const std::vector<http::ByteRange>& ranges,
+                           std::vector<std::string>* results) {
+  for (const CoalescedRange& wire : batch) {
+    if (wire.range.offset + wire.range.length > full_body.size()) {
+      return Status::ProtocolError("entity shorter than wire range");
+    }
+    DAVIX_RETURN_IF_ERROR(ScatterWireRange(
+        wire, full_body.substr(wire.range.offset, wire.range.length), ranges,
+        results));
+  }
+  return Status::OK();
 }
 
 }  // namespace
@@ -199,118 +235,156 @@ Result<std::vector<std::string>> DavFile::ReadPartialVecAt(
   std::vector<std::vector<CoalescedRange>> batches =
       SplitBatches(std::move(coalesced), params.max_ranges_per_request);
 
-  // If any batch comes back as the full entity (a server without
-  // multi-range support), remember it and satisfy everything locally.
-  std::string full_body;
-  bool have_full_body = false;
+  // Zero-copy scatter: size every result slot up front so concurrent
+  // batch workers write payload bytes straight into them — no allocation
+  // inside the dispatch, and no two workers share a slot (each user
+  // range lives in exactly one wire range, each wire range in exactly
+  // one batch).
+  for (size_t i = 0; i < ranges.size(); ++i) {
+    results[i].resize(ranges[i].length);
+  }
 
-  for (const std::vector<CoalescedRange>& batch : batches) {
-    if (have_full_body) {
-      for (const CoalescedRange& wire : batch) {
-        if (wire.range.offset + wire.range.length > full_body.size()) {
-          return Status::ProtocolError("entity shorter than wire range");
+  size_t parallelism = params.max_parallel_range_requests;
+  if (parallelism == 0) {
+    parallelism = context_->pool().config().max_idle_per_host;
+  }
+  parallelism = std::max<size_t>(1, std::min(parallelism, batches.size()));
+
+  VecDispatchState state;
+  ParallelForCancellable(
+      batches.size(), parallelism, [&](size_t batch_index) {
+        Status status = FetchVecBatch(replica, batches[batch_index], params,
+                                      ranges, &state, &results);
+        if (!status.ok()) {
+          std::lock_guard<std::mutex> lock(state.mu);
+          if (state.first_error.ok()) state.first_error = std::move(status);
+          state.failed.store(true, std::memory_order_release);
+          return false;  // first-error cancellation: skip unstarted batches
         }
-        DAVIX_RETURN_IF_ERROR(ScatterWireRange(
-            wire,
-            std::string_view(full_body)
-                .substr(wire.range.offset, wire.range.length),
-            ranges, &results));
+        return true;
+      });
+
+  std::lock_guard<std::mutex> lock(state.mu);
+  if (!state.first_error.ok()) return state.first_error;
+  return results;
+}
+
+Status DavFile::FetchVecBatch(const Uri& replica,
+                              const std::vector<CoalescedRange>& batch,
+                              const RequestParams& params,
+                              const std::vector<http::ByteRange>& ranges,
+                              VecDispatchState* state,
+                              std::vector<std::string>* results) {
+  // A sibling batch already failed between this batch being claimed and
+  // starting: don't put more traffic on the wire.
+  if (state->failed.load(std::memory_order_acquire)) return Status::OK();
+
+  // A sibling batch already received the whole entity: demote to local
+  // scatter, zero wire traffic.
+  if (state->have_full_body.load(std::memory_order_acquire)) {
+    return ScatterFromFullBody(batch, state->full_body, ranges, results);
+  }
+
+  std::vector<http::ByteRange> wire_ranges;
+  wire_ranges.reserve(batch.size());
+  for (const CoalescedRange& wire : batch) wire_ranges.push_back(wire.range);
+
+  http::HeaderMap headers;
+  headers.Set("Range", http::FormatRangeHeader(wire_ranges));
+  context_->stats().vector_queries.fetch_add(1, std::memory_order_relaxed);
+  context_->stats().ranges_requested.fetch_add(wire_ranges.size(),
+                                               std::memory_order_relaxed);
+
+  DAVIX_ASSIGN_OR_RETURN(
+      HttpClient::Exchange exchange,
+      client_.Execute(replica, http::Method::kGet, params, std::string(),
+                      &headers));
+  http::HttpResponse& response = exchange.response;
+
+  if (response.status_code == 200) {
+    // Server ignored the Range header: it sent the whole entity. Move
+    // the body into the shared state (no copy) so every remaining batch
+    // is satisfied locally.
+    {
+      std::lock_guard<std::mutex> lock(state->mu);
+      if (!state->have_full_body.load(std::memory_order_relaxed)) {
+        state->full_body = std::move(response.body);
+        state->have_full_body.store(true, std::memory_order_release);
       }
-      continue;
     }
+    return ScatterFromFullBody(batch, state->full_body, ranges, results);
+  }
+  if (response.status_code != 206) {
+    return HttpStatusToStatus(response.status_code,
+                              "vectored GET " + replica.ToString());
+  }
 
-    std::vector<http::ByteRange> wire_ranges;
-    wire_ranges.reserve(batch.size());
-    for (const CoalescedRange& wire : batch) wire_ranges.push_back(wire.range);
-
-    http::HeaderMap headers;
-    headers.Set("Range", http::FormatRangeHeader(wire_ranges));
-    context_->stats().vector_queries.fetch_add(1, std::memory_order_relaxed);
-    context_->stats().ranges_requested.fetch_add(wire_ranges.size(),
-                                                 std::memory_order_relaxed);
-
-    DAVIX_ASSIGN_OR_RETURN(
-        HttpClient::Exchange exchange,
-        client_.Execute(replica, http::Method::kGet, params, std::string(),
-                        &headers));
-    const http::HttpResponse& response = exchange.response;
-
-    if (response.status_code == 200) {
-      // Server ignored the Range header: it sent the whole entity.
-      full_body = response.body;
-      have_full_body = true;
-      for (const CoalescedRange& wire : batch) {
-        if (wire.range.offset + wire.range.length > full_body.size()) {
-          return Status::ProtocolError("entity shorter than wire range");
-        }
-        DAVIX_RETURN_IF_ERROR(ScatterWireRange(
-            wire,
-            std::string_view(full_body)
-                .substr(wire.range.offset, wire.range.length),
-            ranges, &results));
-      }
-      continue;
+  std::string content_type = response.headers.Get("Content-Type").value_or("");
+  if (content_type.find("multipart/byteranges") != std::string::npos) {
+    DAVIX_ASSIGN_OR_RETURN(std::string boundary,
+                           http::ExtractBoundary(content_type));
+    DAVIX_ASSIGN_OR_RETURN(std::vector<http::BytesPartView> parts,
+                           http::ParseMultipartViews(response.body, boundary));
+    // Match parts to wire ranges via a single-pass offset-keyed lookup
+    // (wire ranges are pairwise disjoint, so offsets are unique). The
+    // parts are views into the response body: payload bytes are copied
+    // exactly once, straight into the user slots.
+    std::unordered_map<uint64_t, const http::BytesPartView*> parts_by_offset;
+    parts_by_offset.reserve(parts.size());
+    for (const http::BytesPartView& part : parts) {
+      parts_by_offset.emplace(part.range.offset, &part);
     }
-    if (response.status_code != 206) {
-      return HttpStatusToStatus(response.status_code,
-                                "vectored GET " + replica.ToString());
-    }
-
-    std::string content_type =
-        response.headers.Get("Content-Type").value_or("");
-    if (content_type.find("multipart/byteranges") != std::string::npos) {
-      DAVIX_ASSIGN_OR_RETURN(std::string boundary,
-                             http::ExtractBoundary(content_type));
-      DAVIX_ASSIGN_OR_RETURN(
-          std::vector<http::BytesPart> parts,
-          http::ParseMultipartBody(response.body, boundary));
-      // Match parts to wire ranges exactly.
-      for (const CoalescedRange& wire : batch) {
-        const http::BytesPart* match = nullptr;
-        for (const http::BytesPart& part : parts) {
+    for (const CoalescedRange& wire : batch) {
+      auto it = parts_by_offset.find(wire.range.offset);
+      const http::BytesPartView* match =
+          it != parts_by_offset.end() && it->second->range == wire.range
+              ? it->second
+              : nullptr;
+      if (match == nullptr) {
+        // Tolerate servers that send duplicate-offset or extra parts:
+        // fall back to an exact scan before declaring the range missing.
+        for (const http::BytesPartView& part : parts) {
           if (part.range == wire.range) {
             match = &part;
             break;
           }
         }
-        if (match == nullptr) {
-          return Status::ProtocolError(
-              "multipart response missing range " +
-              http::FormatRangeHeader({wire.range}));
-        }
-        DAVIX_RETURN_IF_ERROR(
-            ScatterWireRange(wire, match->data, ranges, &results));
       }
-      continue;
-    }
-
-    // 206 with a single Content-Range: either we asked for one range, or
-    // the server merged our ranges into one span.
-    std::optional<std::string> content_range =
-        response.headers.Get("Content-Range");
-    if (!content_range) {
-      return Status::ProtocolError("206 without Content-Range");
-    }
-    DAVIX_ASSIGN_OR_RETURN(http::ContentRange cr,
-                           http::ParseContentRange(*content_range));
-    if (response.body.size() != cr.range.length) {
-      return Status::ProtocolError("206 body size != Content-Range length");
-    }
-    for (const CoalescedRange& wire : batch) {
-      if (wire.range.offset < cr.range.offset ||
-          wire.range.offset + wire.range.length >
-              cr.range.offset + cr.range.length) {
-        return Status::ProtocolError(
-            "206 span does not cover requested range");
+      if (match == nullptr) {
+        return Status::ProtocolError("multipart response missing range " +
+                                     http::FormatRangeHeader({wire.range}));
       }
-      DAVIX_RETURN_IF_ERROR(ScatterWireRange(
-          wire,
-          std::string_view(response.body)
-              .substr(wire.range.offset - cr.range.offset, wire.range.length),
-          ranges, &results));
+      DAVIX_RETURN_IF_ERROR(
+          ScatterWireRange(wire, match->data, ranges, results));
     }
+    return Status::OK();
   }
-  return results;
+
+  // 206 with a single Content-Range: either we asked for one range, or
+  // the server merged our ranges into one span.
+  std::optional<std::string> content_range =
+      response.headers.Get("Content-Range");
+  if (!content_range) {
+    return Status::ProtocolError("206 without Content-Range");
+  }
+  DAVIX_ASSIGN_OR_RETURN(http::ContentRange cr,
+                         http::ParseContentRange(*content_range));
+  if (response.body.size() != cr.range.length) {
+    return Status::ProtocolError("206 body size != Content-Range length");
+  }
+  for (const CoalescedRange& wire : batch) {
+    if (wire.range.offset < cr.range.offset ||
+        wire.range.offset + wire.range.length >
+            cr.range.offset + cr.range.length) {
+      return Status::ProtocolError("206 span does not cover requested range");
+    }
+    DAVIX_RETURN_IF_ERROR(ScatterWireRange(
+        wire,
+        std::string_view(response.body)
+            .substr(wire.range.offset - cr.range.offset, wire.range.length),
+        ranges, results));
+  }
+  return Status::OK();
 }
 
 }  // namespace core

@@ -15,6 +15,9 @@
 namespace davix {
 namespace core {
 
+struct CoalescedRange;
+struct VecDispatchState;
+
 /// Remote file metadata as observable over HTTP/WebDAV.
 struct FileInfo {
   uint64_t size = 0;
@@ -71,8 +74,16 @@ class DavFile {
   /// into HTTP multi-range queries, executed as few wire round trips,
   /// and scattered back; results[i] holds the bytes of ranges[i].
   ///
+  /// When coalescing yields more than one batch, the batches are
+  /// dispatched concurrently — each drawing its own pooled session —
+  /// bounded by RequestParams::max_parallel_range_requests, with
+  /// first-error cancellation. Payload bytes are scattered zero-copy
+  /// from the response buffers into preallocated result slots.
+  ///
   /// Falls back transparently when the server answers a multi-range GET
-  /// with the full entity (200) or lacks multi-range support.
+  /// with the full entity (200) or lacks multi-range support; once one
+  /// batch sees the full entity, the remaining batches are satisfied
+  /// locally from it without further wire traffic.
   Result<std::vector<std::string>> ReadPartialVec(
       const std::vector<http::ByteRange>& ranges,
       const RequestParams& params = {});
@@ -88,6 +99,17 @@ class DavFile {
   Result<std::vector<std::string>> ReadPartialVecAt(
       const Uri& replica, const std::vector<http::ByteRange>& ranges,
       const RequestParams& params);
+
+  /// Fetches one coalesced batch and scatters its payload into the
+  /// preallocated `results` slots. Runs concurrently with its sibling
+  /// batches; `state` carries the shared 200-fallback body and error
+  /// flag.
+  Status FetchVecBatch(const Uri& replica,
+                       const std::vector<CoalescedRange>& batch,
+                       const RequestParams& params,
+                       const std::vector<http::ByteRange>& ranges,
+                       VecDispatchState* state,
+                       std::vector<std::string>* results);
 
   Context* context_;
   HttpClient client_;

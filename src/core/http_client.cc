@@ -124,17 +124,22 @@ Result<http::HttpResponse> HttpClient::ExecuteOnce(
       request.headers.Set(name, value);
     }
   }
-  request.body = body;
-
-  std::string wire = request.Serialize();
+  // Zero-copy send: the payload never gets concatenated into the wire
+  // buffer (for a PUT that used to mean one full extra copy of the
+  // body). The head goes out first, then the caller's body directly.
+  std::string wire_head = request.SerializeHead(body.size());
   context_->stats().requests.fetch_add(1, std::memory_order_relaxed);
   context_->stats().network_round_trips.fetch_add(1,
                                                   std::memory_order_relaxed);
-  context_->stats().bytes_written.fetch_add(wire.size(),
+  context_->stats().bytes_written.fetch_add(wire_head.size() + body.size(),
                                             std::memory_order_relaxed);
 
   Status write_status =
-      session->socket().WriteAll(wire, params.operation_timeout_micros);
+      session->socket().WriteAll(wire_head, params.operation_timeout_micros);
+  if (write_status.ok() && !body.empty()) {
+    write_status =
+        session->socket().WriteAll(body, params.operation_timeout_micros);
+  }
   uint64_t consumed_before = session->reader().bytes_consumed();
   if (!write_status.ok()) {
     context_->pool().Discard(std::move(session));

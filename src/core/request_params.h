@@ -50,6 +50,12 @@ struct RequestParams {
   /// Adjacent requested ranges closer than this are coalesced into one
   /// wire range (data-sieving: read the gap, discard it).
   uint64_t vector_gap_bytes = 4096;
+  /// Multi-range batches dispatched concurrently, each on its own pooled
+  /// session (the parallel vectored dispatcher). 1 restores the serial
+  /// one-connection behaviour; 0 = auto, bounded by the context pool's
+  /// SessionPoolConfig::max_idle_per_host so the connection burst can be
+  /// parked and recycled afterwards instead of being torn down.
+  size_t max_parallel_range_requests = 0;
 
   // --- §2.4: metalink --------------------------------------------------
   MetalinkMode metalink_mode = MetalinkMode::kFailover;

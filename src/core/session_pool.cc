@@ -39,14 +39,24 @@ Result<std::unique_ptr<Session>> SessionPool::Acquire(
           stats_.expired.fetch_add(1, std::memory_order_relaxed);
           continue;
         }
+        if (bucket.empty()) idle_.erase(it);
         session->set_recycled(true);
         stats_.recycled.fetch_add(1, std::memory_order_relaxed);
+        stats_.acquire_hits.fetch_add(1, std::memory_order_relaxed);
         return session;
       }
+      // Drained (possibly by ageing every entry out): drop the bucket so
+      // the map does not accumulate one empty vector per host ever seen.
+      idle_.erase(it);
     }
   }
 
-  // No reusable session: open a fresh connection.
+  // No reusable session: open a fresh connection. Only pooled (keep-
+  // alive) acquires count as misses; with pooling off there is nothing
+  // to hit.
+  if (params.keep_alive) {
+    stats_.acquire_misses.fetch_add(1, std::memory_order_relaxed);
+  }
   DAVIX_ASSIGN_OR_RETURN(net::SocketAddress address,
                          net::SocketAddress::Resolve(uri.host(), uri.port()));
   Result<net::TcpSocket> socket =
@@ -100,6 +110,11 @@ size_t SessionPool::IdleCount() const {
   size_t total = 0;
   for (const auto& [key, bucket] : idle_) total += bucket.size();
   return total;
+}
+
+size_t SessionPool::BucketCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return idle_.size();
 }
 
 }  // namespace core

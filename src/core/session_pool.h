@@ -71,6 +71,13 @@ struct SessionPoolStats {
   std::atomic<uint64_t> discarded{0};       ///< broken sessions dropped
   std::atomic<uint64_t> expired{0};         ///< idle sessions aged out
   std::atomic<uint64_t> current_idle{0};    ///< sessions parked right now
+  /// Contention view of Acquire: a hit found a usable idle session, a
+  /// miss found none (bucket empty, drained by concurrent acquirers, or
+  /// everything aged out) and had to pay a fresh connect. The parallel
+  /// vectored dispatcher bursts N acquires at one host; hits/misses show
+  /// how well the pool absorbs that burst across calls.
+  std::atomic<uint64_t> acquire_hits{0};
+  std::atomic<uint64_t> acquire_misses{0};
 };
 
 /// §2.2 of the paper: "a hybrid solution based on a dynamic connection
@@ -105,6 +112,13 @@ class SessionPool {
 
   /// Idle sessions currently parked (over all buckets).
   size_t IdleCount() const;
+
+  /// Number of host:port buckets currently held. Drained buckets are
+  /// erased eagerly, so this tracks hosts with parked sessions, not every
+  /// host ever contacted.
+  size_t BucketCount() const;
+
+  const SessionPoolConfig& config() const { return config_; }
 
   SessionPoolStats& stats() { return stats_; }
 

@@ -1,6 +1,7 @@
 #include "core/vector_io.h"
 
 #include <algorithm>
+#include <cstring>
 #include <numeric>
 
 namespace davix {
@@ -76,8 +77,12 @@ Status ScatterWireRange(const CoalescedRange& wire, std::string_view data,
         user.offset + user.length > wire.range.offset + wire.range.length) {
       return Status::Internal("user range not contained in wire range");
     }
-    (*results)[idx] =
-        std::string(data.substr(user.offset - wire.range.offset, user.length));
+    std::string& slot = (*results)[idx];
+    if (slot.size() != user.length) slot.resize(user.length);
+    if (user.length > 0) {
+      std::memcpy(slot.data(), data.data() + (user.offset - wire.range.offset),
+                  user.length);
+    }
   }
   return Status::OK();
 }

@@ -42,6 +42,13 @@ std::vector<std::vector<CoalescedRange>> SplitBatches(
 
 /// Copies the bytes of one fetched wire range into the user result slots
 /// it covers. `data` must be exactly `wire.range.length` bytes.
+///
+/// Slots already sized to their user range length are written in place —
+/// no allocation — which is what lets the parallel dispatcher preallocate
+/// every slot once and have concurrent batch workers scatter straight
+/// into them (each user range belongs to exactly one wire range, so no
+/// two workers touch the same slot). Differently-sized slots are resized
+/// first.
 Status ScatterWireRange(const CoalescedRange& wire, std::string_view data,
                         const std::vector<http::ByteRange>& requested,
                         std::vector<std::string>* results);

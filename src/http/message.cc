@@ -106,9 +106,9 @@ std::string_view ReasonPhrase(int status_code) {
   }
 }
 
-std::string HttpRequest::Serialize() const {
+std::string HttpRequest::SerializeHead(size_t body_size) const {
   std::string out;
-  out.reserve(256 + body.size());
+  out.reserve(256);
   out += MethodName(method);
   out += ' ';
   out += target;
@@ -123,10 +123,15 @@ std::string HttpRequest::Serialize() const {
     out += "\r\n";
     if (EqualsIgnoreCase(name, "Content-Length")) has_length = true;
   }
-  if (!body.empty() && !has_length) {
-    out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  if (body_size > 0 && !has_length) {
+    out += "Content-Length: " + std::to_string(body_size) + "\r\n";
   }
   out += "\r\n";
+  return out;
+}
+
+std::string HttpRequest::Serialize() const {
+  std::string out = SerializeHead(body.size());
   out += body;
   return out;
 }

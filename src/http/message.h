@@ -52,6 +52,13 @@ struct HttpRequest {
   /// Serialises head + body for the wire. Adds Content-Length for
   /// non-empty bodies if absent.
   std::string Serialize() const;
+
+  /// Serialises the head only (request line + headers + blank line),
+  /// declaring `body_size` via Content-Length when non-zero and not
+  /// already set. Lets callers write head and payload as two socket
+  /// writes instead of concatenating them — the zero-copy send path for
+  /// large PUT bodies.
+  std::string SerializeHead(size_t body_size) const;
 };
 
 /// An HTTP/1.1 response.

@@ -75,9 +75,9 @@ Result<std::string> ExtractBoundary(std::string_view content_type) {
                                std::string(content_type));
 }
 
-Result<std::vector<BytesPart>> ParseMultipartBody(std::string_view body,
-                                                  std::string_view boundary) {
-  std::vector<BytesPart> parts;
+Result<std::vector<BytesPartView>> ParseMultipartViews(
+    std::string_view body, std::string_view boundary) {
+  std::vector<BytesPartView> parts;
   const std::string delimiter = "--" + std::string(boundary);
 
   // Skip any preamble up to the first delimiter.
@@ -98,7 +98,7 @@ Result<std::vector<BytesPart>> ParseMultipartBody(std::string_view body,
     pos += 2;
 
     // Part headers until blank line.
-    BytesPart part;
+    BytesPartView part;
     bool have_content_range = false;
     while (true) {
       size_t eol = body.find(kCrlf, pos);
@@ -126,11 +126,12 @@ Result<std::vector<BytesPart>> ParseMultipartBody(std::string_view body,
       return Status::ProtocolError("multipart part without Content-Range");
     }
 
-    // Body: exactly range.length bytes, then CRLF + next delimiter.
+    // Body: exactly range.length bytes, then CRLF + next delimiter. The
+    // part keeps a view into `body` — no payload copy.
     if (pos + part.range.length > body.size()) {
       return Status::ProtocolError("truncated multipart part body");
     }
-    part.data = std::string(body.substr(pos, part.range.length));
+    part.data = body.substr(pos, part.range.length);
     pos += part.range.length;
     if (body.substr(pos, 2) != kCrlf) {
       return Status::ProtocolError("part body not followed by CRLF");
@@ -140,8 +141,24 @@ Result<std::vector<BytesPart>> ParseMultipartBody(std::string_view body,
       return Status::ProtocolError("part not followed by boundary");
     }
     pos += delimiter.size();
+    parts.push_back(part);
+  }
+}
+
+Result<std::vector<BytesPart>> ParseMultipartBody(std::string_view body,
+                                                  std::string_view boundary) {
+  DAVIX_ASSIGN_OR_RETURN(std::vector<BytesPartView> views,
+                         ParseMultipartViews(body, boundary));
+  std::vector<BytesPart> parts;
+  parts.reserve(views.size());
+  for (const BytesPartView& view : views) {
+    BytesPart part;
+    part.range = view.range;
+    part.total_size = view.total_size;
+    part.data = std::string(view.data);
     parts.push_back(std::move(part));
   }
+  return parts;
 }
 
 }  // namespace http

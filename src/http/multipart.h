@@ -40,9 +40,25 @@ std::string BuildMultipartBody(const std::vector<BytesPart>& parts,
 /// `multipart/byteranges; boundary=THIS`.
 Result<std::string> ExtractBoundary(std::string_view content_type);
 
-/// Parses a multipart/byteranges body back into parts. Strict about
-/// delimiter syntax; fails with kProtocolError on any malformation so a
-/// broken server cannot silently corrupt a vectored read.
+/// One part of a multipart/byteranges payload viewed in place: `data`
+/// aliases the parsed body buffer (no copy) and is valid only while that
+/// buffer lives. This is the zero-copy scatter path of the vectored-read
+/// client — payload bytes travel response body -> user buffer directly.
+struct BytesPartView {
+  ByteRange range;
+  uint64_t total_size = 0;
+  std::string_view data;
+};
+
+/// Parses a multipart/byteranges body into in-place views over `body`.
+/// Strict about delimiter syntax; fails with kProtocolError on any
+/// malformation so a broken server cannot silently corrupt a vectored
+/// read.
+Result<std::vector<BytesPartView>> ParseMultipartViews(
+    std::string_view body, std::string_view boundary);
+
+/// Owning variant of ParseMultipartViews: copies each part's payload.
+/// Prefer the view form on hot paths.
 Result<std::vector<BytesPart>> ParseMultipartBody(std::string_view body,
                                                   std::string_view boundary);
 

@@ -485,5 +485,45 @@ TEST(ParallelForTest, ZeroItemsIsNoop) {
   ParallelFor(0, 4, [](size_t) { FAIL(); });
 }
 
+TEST(ParallelForCancellableTest, AllTrueRunsEverythingAndReturnsTrue) {
+  std::vector<std::atomic<int>> hits(123);
+  EXPECT_TRUE(ParallelForCancellable(hits.size(), 8, [&](size_t i) {
+    hits[i].fetch_add(1);
+    return true;
+  }));
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForCancellableTest, FalseStopsSchedulingRemainingIndices) {
+  // With parallelism 1 the semantics are exact: everything after the
+  // failing index is skipped.
+  std::atomic<int> ran{0};
+  EXPECT_FALSE(ParallelForCancellable(100, 1, [&](size_t i) {
+    ran.fetch_add(1);
+    return i < 10;
+  }));
+  EXPECT_EQ(ran.load(), 11);
+}
+
+TEST(ParallelForCancellableTest, ConcurrentCancelBoundsWorkPerWorker) {
+  // Every call fails, so each of the 4 workers cancels after its first
+  // claimed index: at most `parallelism` of the 10k indices ever run,
+  // whatever the thread interleaving.
+  std::atomic<int> ran{0};
+  EXPECT_FALSE(ParallelForCancellable(10'000, 4, [&](size_t) {
+    ran.fetch_add(1);
+    return false;
+  }));
+  EXPECT_GE(ran.load(), 1);
+  EXPECT_LE(ran.load(), 4);
+}
+
+TEST(ParallelForCancellableTest, ZeroItemsIsVacuouslyTrue) {
+  EXPECT_TRUE(ParallelForCancellable(0, 4, [](size_t) {
+    []() { FAIL(); }();
+    return false;
+  }));
+}
+
 }  // namespace
 }  // namespace davix

@@ -129,6 +129,112 @@ TEST_F(DavFileTest, FallbackWhenServerLacksMultirange) {
   }
 }
 
+TEST_F(DavFileTest, ParallelDispatchMultipleBatchesInFlight) {
+  // A shaped (2 ms RTT) server so the four batches genuinely overlap.
+  httpd::ServerConfig config;
+  config.link = netsim::LinkProfile::Lan();
+  TestStorageServer server = StartStorageServer(config);
+  server.store->Put("/data.bin", content_);
+  Context context;
+  DavFile file = *DavFile::Make(&context, server.UrlFor("/data.bin"));
+
+  params_.vector_gap_bytes = 0;
+  params_.max_ranges_per_request = 4;
+  params_.max_parallel_range_requests = 4;
+  std::vector<http::ByteRange> ranges;
+  for (int i = 0; i < 16; ++i) {
+    ranges.push_back({uint64_t(i) * 10'000, 100});
+  }
+  ASSERT_OK_AND_ASSIGN(auto results, file.ReadPartialVec(ranges, params_));
+  for (size_t i = 0; i < ranges.size(); ++i) {
+    EXPECT_EQ(results[i], content_.substr(ranges[i].offset, ranges[i].length));
+  }
+  // Same wire shape as sequential dispatch: 4 multi-range queries.
+  EXPECT_EQ(context.SnapshotCounters().vector_queries, 4u);
+  EXPECT_EQ(server.handler->stats().multirange_requests.load(), 4u);
+  // The concurrent burst drew several connections to the one host...
+  EXPECT_GE(context.pool().stats().connects.load(), 2u);
+  // ...and parked every one of them back for recycling afterwards.
+  EXPECT_EQ(context.pool().IdleCount(),
+            context.pool().stats().connects.load());
+}
+
+TEST_F(DavFileTest, ParallelFallbackWhenServerLacksMultirange) {
+  // Under parallel dispatch, the 200 full-entity fallback must demote the
+  // read to single-stream: batches that start after the entity arrived
+  // are satisfied locally, and every byte still comes out right.
+  httpd::ServerConfig config;
+  config.link = netsim::LinkProfile::Lan();
+  TestStorageServer server = StartStorageServer(config);
+  server.store->Put("/data.bin", content_);
+  server.handler->set_support_multirange(false);
+  Context context;
+  DavFile file = *DavFile::Make(&context, server.UrlFor("/data.bin"));
+
+  params_.vector_gap_bytes = 0;
+  params_.max_ranges_per_request = 4;
+  params_.max_parallel_range_requests = 4;
+  std::vector<http::ByteRange> ranges;
+  for (int i = 0; i < 16; ++i) {
+    ranges.push_back({uint64_t(i) * 10'000, 100});
+  }
+  ASSERT_OK_AND_ASSIGN(auto results, file.ReadPartialVec(ranges, params_));
+  for (size_t i = 0; i < ranges.size(); ++i) {
+    EXPECT_EQ(results[i], content_.substr(ranges[i].offset, ranges[i].length));
+  }
+  // Never more wire requests than batches, regardless of how the 200s
+  // and the demotion interleave.
+  EXPECT_LE(context.SnapshotCounters().requests, 4u);
+  EXPECT_GE(context.SnapshotCounters().requests, 1u);
+}
+
+TEST_F(DavFileTest, ParallelMidStreamFaultSurfacesFirstError) {
+  // Every response body is truncated mid-stream: the dispatch must fail
+  // cleanly (first-error cancellation), not hang or crash.
+  TestStorageServer server = StartStorageServer();
+  server.store->Put("/data.bin", content_);
+  server.server->faults().AddRule(
+      {"/data.bin", netsim::FaultAction::kTruncateBody, 1.0, -1, 0});
+  Context context;
+  DavFile file = *DavFile::Make(&context, server.UrlFor("/data.bin"));
+
+  params_.vector_gap_bytes = 0;
+  params_.max_ranges_per_request = 4;
+  params_.max_parallel_range_requests = 4;
+  params_.max_retries = 0;
+  std::vector<http::ByteRange> ranges;
+  for (int i = 0; i < 16; ++i) {
+    ranges.push_back({uint64_t(i) * 10'000, 100});
+  }
+  Result<std::vector<std::string>> result =
+      file.ReadPartialVec(ranges, params_);
+  ASSERT_FALSE(result.ok());
+}
+
+TEST_F(DavFileTest, ParallelDispatchRecoversFromTransientFaults) {
+  // Two mid-stream truncations, then a healthy server: the per-request
+  // retry machinery absorbs the faults underneath the parallel dispatch.
+  TestStorageServer server = StartStorageServer();
+  server.store->Put("/data.bin", content_);
+  server.server->faults().AddRule(
+      {"/data.bin", netsim::FaultAction::kTruncateBody, 1.0, 2, 0});
+  Context context;
+  DavFile file = *DavFile::Make(&context, server.UrlFor("/data.bin"));
+
+  params_.vector_gap_bytes = 0;
+  params_.max_ranges_per_request = 4;
+  params_.max_parallel_range_requests = 4;
+  std::vector<http::ByteRange> ranges;
+  for (int i = 0; i < 16; ++i) {
+    ranges.push_back({uint64_t(i) * 10'000, 100});
+  }
+  ASSERT_OK_AND_ASSIGN(auto results, file.ReadPartialVec(ranges, params_));
+  for (size_t i = 0; i < ranges.size(); ++i) {
+    EXPECT_EQ(results[i], content_.substr(ranges[i].offset, ranges[i].length));
+  }
+  EXPECT_EQ(server.server->stats().faults_injected.load(), 2u);
+}
+
 TEST_F(DavFileTest, OverlappingAndDuplicateRanges) {
   DavFile file = File("/data.bin");
   std::vector<http::ByteRange> ranges = {
@@ -162,6 +268,7 @@ TEST_P(DavFileVecPropertyTest, MatchesLocalTruth) {
   params.metalink_mode = MetalinkMode::kDisabled;
   params.vector_gap_bytes = rng.Below(8192);
   params.max_ranges_per_request = 1 + rng.Below(16);
+  params.max_parallel_range_requests = 1 + rng.Below(6);
   DavFile file = *DavFile::Make(&context, server.UrlFor("/obj"));
 
   std::vector<http::ByteRange> ranges;

@@ -231,6 +231,35 @@ TEST(MultipartTest, EmptyPartsListYieldsClosingOnly) {
   EXPECT_TRUE(parts.empty());
 }
 
+TEST(MultipartTest, ViewsAliasTheBodyWithoutCopying) {
+  // The zero-copy contract of ParseMultipartViews: every part's data is
+  // a view INTO the body buffer, not a copy of it.
+  std::vector<BytesPart> parts;
+  Rng rng(5);
+  for (int i = 0; i < 4; ++i) {
+    BytesPart part;
+    part.range = {uint64_t(i) * 1000, 100};
+    part.total_size = 10'000;
+    part.data = rng.Bytes(100);
+    parts.push_back(std::move(part));
+  }
+  std::string boundary = GenerateBoundary(parts, 5);
+  std::string body = BuildMultipartBody(parts, boundary);
+
+  ASSERT_OK_AND_ASSIGN(auto views, ParseMultipartViews(body, boundary));
+  ASSERT_EQ(views.size(), parts.size());
+  const char* begin = body.data();
+  const char* end = body.data() + body.size();
+  for (size_t i = 0; i < views.size(); ++i) {
+    EXPECT_EQ(views[i].range, parts[i].range);
+    EXPECT_EQ(views[i].total_size, parts[i].total_size);
+    EXPECT_EQ(views[i].data, parts[i].data);
+    // No per-part payload copy: the view points inside `body`.
+    EXPECT_GE(views[i].data.data(), begin);
+    EXPECT_LE(views[i].data.data() + views[i].data.size(), end);
+  }
+}
+
 // Property: build→parse is identity, with binary payloads.
 class MultipartRoundTripTest : public ::testing::TestWithParam<uint64_t> {};
 

@@ -111,6 +111,91 @@ TEST_F(SessionPoolTest, MaxIdlePerHostBounded) {
   EXPECT_EQ(pool.stats().discarded.load(), 2u);
 }
 
+TEST_F(SessionPoolTest, DrainedBucketsAreErased) {
+  SessionPool pool;
+  ASSERT_OK_AND_ASSIGN(auto session, pool.Acquire(uri_, params_));
+  pool.Release(std::move(session));
+  EXPECT_EQ(pool.BucketCount(), 1u);
+  // Draining the bucket must erase it — the map cannot grow by one empty
+  // vector per host:port ever contacted.
+  ASSERT_OK_AND_ASSIGN(auto again, pool.Acquire(uri_, params_));
+  EXPECT_EQ(pool.BucketCount(), 0u);
+  pool.Release(std::move(again));
+  EXPECT_EQ(pool.BucketCount(), 1u);
+}
+
+TEST_F(SessionPoolTest, ExpiredDrainAlsoErasesBucket) {
+  SessionPoolConfig config;
+  config.max_idle_age_micros = 10'000;  // 10 ms
+  SessionPool pool(config);
+  ASSERT_OK_AND_ASSIGN(auto session, pool.Acquire(uri_, params_));
+  pool.Release(std::move(session));
+  SleepForMicros(30'000);
+  // The only idle session ages out during this acquire: the bucket is
+  // drained by expiry, and must be gone afterwards.
+  ASSERT_OK_AND_ASSIGN(auto fresh, pool.Acquire(uri_, params_));
+  EXPECT_EQ(pool.BucketCount(), 0u);
+}
+
+TEST_F(SessionPoolTest, HitAndMissCounters) {
+  SessionPool pool;
+  // Cold pool: miss.
+  ASSERT_OK_AND_ASSIGN(auto first, pool.Acquire(uri_, params_));
+  EXPECT_EQ(pool.stats().acquire_misses.load(), 1u);
+  EXPECT_EQ(pool.stats().acquire_hits.load(), 0u);
+  pool.Release(std::move(first));
+  // Warm pool: hit.
+  ASSERT_OK_AND_ASSIGN(auto second, pool.Acquire(uri_, params_));
+  EXPECT_EQ(pool.stats().acquire_hits.load(), 1u);
+  EXPECT_EQ(pool.stats().acquire_misses.load(), 1u);
+  // Keep-alive off: pooling is bypassed, neither hit nor miss.
+  params_.keep_alive = false;
+  ASSERT_OK_AND_ASSIGN(auto third, pool.Acquire(uri_, params_));
+  EXPECT_EQ(pool.stats().acquire_hits.load(), 1u);
+  EXPECT_EQ(pool.stats().acquire_misses.load(), 1u);
+}
+
+TEST_F(SessionPoolTest, BurstAcquireToOneHostCountsMisses) {
+  // The parallel vectored dispatcher's pattern: N concurrent acquires to
+  // one host against a cold pool — all misses — then N releases and a
+  // second burst — all hits.
+  SessionPool pool;
+  constexpr int kBurst = 6;
+  std::vector<std::unique_ptr<Session>> sessions(kBurst);
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int i = 0; i < kBurst; ++i) {
+    threads.emplace_back([&, i] {
+      Result<std::unique_ptr<Session>> session = pool.Acquire(uri_, params_);
+      if (session.ok()) {
+        sessions[i] = std::move(*session);
+      } else {
+        failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(pool.stats().acquire_misses.load(), kBurst);
+  for (auto& session : sessions) pool.Release(std::move(session));
+
+  threads.clear();
+  for (int i = 0; i < kBurst; ++i) {
+    threads.emplace_back([&, i] {
+      Result<std::unique_ptr<Session>> session = pool.Acquire(uri_, params_);
+      if (session.ok()) {
+        sessions[i] = std::move(*session);
+      } else {
+        failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(pool.stats().acquire_hits.load(), kBurst);
+  EXPECT_EQ(pool.stats().acquire_misses.load(), kBurst);
+}
+
 TEST_F(SessionPoolTest, ClearDropsEverything) {
   SessionPool pool;
   ASSERT_OK_AND_ASSIGN(auto session, pool.Acquire(uri_, params_));
