@@ -130,7 +130,7 @@ Outcome RunPool(const HttpNode& node) {
   Stopwatch stopwatch;
   std::mutex mu;
   SampleStats fast;
-  ParallelFor(kRequests, 4, [&](size_t i) {
+  ParallelFor(&context.dispatcher(), kRequests, 4, [&](size_t i) {
     core::HttpClient client(&context);
     auto exchange = client.Execute(
         *Uri::Parse(node.server->BaseUrl() + TargetFor(static_cast<int>(i))),

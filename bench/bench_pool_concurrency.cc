@@ -32,13 +32,15 @@ constexpr char kPath[] = "/hot/object.bin";
 void RunDavix(const netsim::LinkProfile& link,
               std::shared_ptr<httpd::ObjectStore> store, size_t threads) {
   HttpNode node = StartHttpNode(link, store);
-  core::Context context;
+  // Dispatcher sized to the sweep point so T simulated client threads
+  // really run T-wide.
+  core::Context context({}, threads);
   core::RequestParams params;
   params.metalink_mode = core::MetalinkMode::kDisabled;
   std::string url = node.UrlFor(kPath);
 
   Stopwatch stopwatch;
-  ParallelFor(threads, threads, [&](size_t) {
+  ParallelFor(&context.dispatcher(), threads, threads, [&](size_t) {
     core::DavFile file = *core::DavFile::Make(&context, url);
     for (int i = 0; i < kRequestsPerThread; ++i) {
       auto data = file.ReadPartial(
@@ -65,7 +67,8 @@ void RunXrootd(const netsim::LinkProfile& link,
   if (!open.ok()) std::exit(1);
 
   Stopwatch stopwatch;
-  ParallelFor(threads, threads, [&](size_t) {
+  ThreadPool workers(threads);
+  ParallelFor(&workers, threads, threads, [&](size_t) {
     for (int i = 0; i < kRequestsPerThread; ++i) {
       auto data = client->Read(open->handle,
                                static_cast<uint64_t>(i) * 512 % kObjectBytes,
@@ -94,7 +97,8 @@ void RunSpdyMux(const netsim::LinkProfile& link,
           .value();
 
   Stopwatch stopwatch;
-  ParallelFor(threads, threads, [&](size_t) {
+  ThreadPool workers(threads);
+  ParallelFor(&workers, threads, threads, [&](size_t) {
     for (int i = 0; i < kRequestsPerThread; ++i) {
       http::HttpRequest request;
       request.method = http::Method::kGet;

@@ -21,21 +21,33 @@ namespace davix {
 namespace bench {
 namespace {
 
-constexpr int kSmallRequests = 24;
 constexpr size_t kSmallObjectBytes = 16 * 1024;
-constexpr size_t kLargeObjectBytes = 4 * 1024 * 1024;
+
+int SmallRequests(bool smoke) { return smoke ? 6 : 24; }
+size_t LargeObjectBytes(bool smoke) {
+  return (smoke ? 1 : 4) * 1024 * 1024;
+}
+
+std::vector<netsim::LinkProfile> Profiles(bool smoke) {
+  if (smoke) {
+    return {netsim::LinkProfile::Lan(), netsim::LinkProfile::Wan()};
+  }
+  return PaperProfiles();
+}
 
 struct Mode {
   const char* name;
   bool keep_alive;
 };
 
-void RunSmallRequestSweep(std::shared_ptr<httpd::ObjectStore> store) {
+void RunSmallRequestSweep(std::shared_ptr<httpd::ObjectStore> store,
+                          const BenchArgs& args, JsonReporter* json) {
+  int requests = SmallRequests(args.smoke);
   std::printf("\n[A] %d sequential 16 KiB GETs (time and connections)\n",
-              kSmallRequests);
+              requests);
   std::printf("%-6s %-16s %12s %14s %14s\n", "link", "mode", "total[s]",
               "per-req[ms]", "connections");
-  for (const netsim::LinkProfile& link : PaperProfiles()) {
+  for (const netsim::LinkProfile& link : Profiles(args.smoke)) {
     for (const Mode& mode : {Mode{"keep-alive", true},
                              Mode{"per-request conn", false}}) {
       HttpNode node = StartHttpNode(link, store);
@@ -46,7 +58,7 @@ void RunSmallRequestSweep(std::shared_ptr<httpd::ObjectStore> store) {
       core::DavFile file =
           *core::DavFile::Make(&context, node.UrlFor("/small.bin"));
       Stopwatch stopwatch;
-      for (int i = 0; i < kSmallRequests; ++i) {
+      for (int i = 0; i < requests; ++i) {
         auto data = file.Get(params);
         if (!data.ok()) {
           std::fprintf(stderr, "GET failed: %s\n",
@@ -55,21 +67,31 @@ void RunSmallRequestSweep(std::shared_ptr<httpd::ObjectStore> store) {
         }
       }
       double total = stopwatch.ElapsedSeconds();
+      uint64_t connections = node.server->stats().connections_accepted.load();
       std::printf("%-6s %-16s %12.3f %14.2f %14llu\n", link.name.c_str(),
-                  mode.name, total, total / kSmallRequests * 1000,
-                  static_cast<unsigned long long>(
-                      node.server->stats().connections_accepted.load()));
+                  mode.name, total, total / requests * 1000,
+                  static_cast<unsigned long long>(connections));
+      json->AddRow()
+          .Str("section", "small-gets")
+          .Str("link", link.name)
+          .Str("mode", mode.name)
+          .Int("requests", static_cast<uint64_t>(requests))
+          .Num("seconds", total)
+          .Num("per_request_ms", total / requests * 1000)
+          .Int("connections", connections);
       node.server->Stop();
     }
   }
 }
 
-void RunSlowStartDemo(std::shared_ptr<httpd::ObjectStore> store) {
+void RunSlowStartDemo(std::shared_ptr<httpd::ObjectStore> store,
+                      const BenchArgs& args, JsonReporter* json) {
   std::printf(
-      "\n[B] 4 MiB GET on a cold vs a recycled (warm cwnd) connection\n");
+      "\n[B] %zu MiB GET on a cold vs a recycled (warm cwnd) connection\n",
+      LargeObjectBytes(args.smoke) / (1024 * 1024));
   std::printf("%-6s %14s %14s %10s\n", "link", "cold[s]", "warm[s]",
               "cold/warm");
-  for (const netsim::LinkProfile& link : PaperProfiles()) {
+  for (const netsim::LinkProfile& link : Profiles(args.smoke)) {
     HttpNode node = StartHttpNode(link, store);
     core::Context context;
     core::RequestParams params;
@@ -89,6 +111,12 @@ void RunSlowStartDemo(std::shared_ptr<httpd::ObjectStore> store) {
 
     std::printf("%-6s %14.3f %14.3f %10.2f\n", link.name.c_str(), cold, warm,
                 warm > 0 ? cold / warm : 0.0);
+    json->AddRow()
+        .Str("section", "slow-start")
+        .Str("link", link.name)
+        .Num("cold_seconds", cold)
+        .Num("warm_seconds", warm)
+        .Num("cold_over_warm", warm > 0 ? cold / warm : 0.0);
     node.server->Stop();
   }
 }
@@ -97,21 +125,24 @@ void RunSlowStartDemo(std::shared_ptr<httpd::ObjectStore> store) {
 }  // namespace bench
 }  // namespace davix
 
-int main() {
+int main(int argc, char** argv) {
   using namespace davix;
   using namespace davix::bench;
+  BenchArgs args = ParseBenchArgs(argc, argv);
   PrintHeader("E3: session recycling / keep-alive vs per-request connections",
               "§2.2 of the libdavix paper (TCP slow start, KeepAlive)");
   auto store = std::make_shared<httpd::ObjectStore>();
   Rng rng(3);
   store->Put("/small.bin", rng.Bytes(kSmallObjectBytes));
-  store->Put("/large.bin", rng.Bytes(kLargeObjectBytes));
-  RunSmallRequestSweep(store);
-  RunSlowStartDemo(store);
+  store->Put("/large.bin", rng.Bytes(LargeObjectBytes(args.smoke)));
+  JsonReporter json("session_reuse");
+  RunSmallRequestSweep(store, args, &json);
+  RunSlowStartDemo(store, args, &json);
+  json.WriteTo(args.json_path);
   std::printf(
       "\nexpected shape: keep-alive saves ~%d handshake RTTs plus slow-start\n"
       "ramps; the gap grows with RTT (largest on WAN). Cold transfers are\n"
       "slower than warm ones by the slow-start ramp.\n",
-      kSmallRequests - 1);
+      SmallRequests(args.smoke) - 1);
   return 0;
 }

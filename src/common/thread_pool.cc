@@ -1,7 +1,9 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
-#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
 
 namespace davix {
 
@@ -16,7 +18,14 @@ ThreadPool::ThreadPool(size_t num_threads) {
 ThreadPool::~ThreadPool() { Shutdown(); }
 
 bool ThreadPool::Submit(std::function<void()> task) {
-  return queue_.Push(std::move(task));
+  // Counted before the push so tasks_executed() can never be observed
+  // ahead of tasks_submitted() (their difference is the backlog).
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  if (!queue_.Push(std::move(task))) {
+    submitted_.fetch_sub(1, std::memory_order_relaxed);
+    return false;
+  }
+  return true;
 }
 
 void ThreadPool::Shutdown() {
@@ -31,60 +40,89 @@ void ThreadPool::WorkerLoop() {
     std::optional<std::function<void()>> task = queue_.Pop();
     if (!task) return;
     (*task)();
+    executed_.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
-void ParallelFor(size_t n, size_t parallelism,
-                 const std::function<void(size_t)>& fn) {
-  if (n == 0) return;
-  size_t threads = std::min(std::max<size_t>(1, parallelism), n);
-  if (threads == 1) {
-    for (size_t i = 0; i < n; ++i) fn(i);
-    return;
+namespace {
+
+/// Shared claim/completion state of one parallel-for call. Helper tasks
+/// hold it by shared_ptr: a helper that only gets scheduled after the
+/// call already returned (every index claimed by faster executors) finds
+/// nothing to do and exits without touching the caller's frame.
+struct ParallelState {
+  std::mutex mu;
+  std::condition_variable cv;
+  size_t next = 0;       ///< next unclaimed index
+  size_t executing = 0;  ///< fn calls currently in flight
+  bool cancelled = false;
+  size_t n = 0;
+  std::function<bool(size_t)> fn;
+};
+
+/// Claim loop run by the caller and by every helper task: claim an
+/// index, run fn outside the lock, repeat until exhausted or cancelled.
+void RunClaimLoop(const std::shared_ptr<ParallelState>& state) {
+  std::unique_lock<std::mutex> lock(state->mu);
+  while (!state->cancelled && state->next < state->n) {
+    size_t i = state->next++;
+    ++state->executing;
+    lock.unlock();
+    bool keep_going = state->fn(i);
+    lock.lock();
+    --state->executing;
+    if (!keep_going) state->cancelled = true;
+    if (state->executing == 0 &&
+        (state->cancelled || state->next >= state->n)) {
+      state->cv.notify_all();
+    }
   }
-  std::atomic<size_t> next{0};
-  std::vector<std::thread> pool;
-  pool.reserve(threads);
-  for (size_t t = 0; t < threads; ++t) {
-    pool.emplace_back([&] {
-      while (true) {
-        size_t i = next.fetch_add(1);
-        if (i >= n) return;
-        fn(i);
-      }
-    });
-  }
-  for (std::thread& t : pool) t.join();
 }
 
-bool ParallelForCancellable(size_t n, size_t parallelism,
-                            const std::function<bool(size_t)>& fn) {
+bool RunParallel(ThreadPool* pool, size_t n, size_t parallelism,
+                 std::function<bool(size_t)> fn) {
   if (n == 0) return true;
-  size_t threads = std::min(std::max<size_t>(1, parallelism), n);
-  if (threads == 1) {
+  size_t executors = std::min(std::max<size_t>(1, parallelism), n);
+  if (executors == 1 || pool == nullptr) {
     for (size_t i = 0; i < n; ++i) {
       if (!fn(i)) return false;
     }
     return true;
   }
-  std::atomic<size_t> next{0};
-  std::atomic<bool> cancelled{false};
-  std::vector<std::thread> pool;
-  pool.reserve(threads);
-  for (size_t t = 0; t < threads; ++t) {
-    pool.emplace_back([&] {
-      while (!cancelled.load(std::memory_order_acquire)) {
-        size_t i = next.fetch_add(1);
-        if (i >= n) return;
-        if (!fn(i)) {
-          cancelled.store(true, std::memory_order_release);
-          return;
-        }
-      }
-    });
+
+  auto state = std::make_shared<ParallelState>();
+  state->n = n;
+  state->fn = std::move(fn);
+
+  // The caller is one executor; the rest are pool tasks. A Submit
+  // rejected by a shutting-down pool just means fewer helpers — the
+  // caller's own loop still covers every index.
+  for (size_t t = 1; t < executors; ++t) {
+    if (!pool->Submit([state] { RunClaimLoop(state); })) break;
   }
-  for (std::thread& t : pool) t.join();
-  return !cancelled.load(std::memory_order_relaxed);
+  RunClaimLoop(state);
+
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->cv.wait(lock, [&] {
+    return state->executing == 0 &&
+           (state->cancelled || state->next >= state->n);
+  });
+  return !state->cancelled;
+}
+
+}  // namespace
+
+void ParallelFor(ThreadPool* pool, size_t n, size_t parallelism,
+                 const std::function<void(size_t)>& fn) {
+  RunParallel(pool, n, parallelism, [&fn](size_t i) {
+    fn(i);
+    return true;
+  });
+}
+
+bool ParallelForCancellable(ThreadPool* pool, size_t n, size_t parallelism,
+                            const std::function<bool(size_t)>& fn) {
+  return RunParallel(pool, n, parallelism, fn);
 }
 
 }  // namespace davix

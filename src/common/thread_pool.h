@@ -1,6 +1,8 @@
 #ifndef DAVIX_COMMON_THREAD_POOL_H_
 #define DAVIX_COMMON_THREAD_POOL_H_
 
+#include <atomic>
+#include <cstdint>
 #include <functional>
 #include <thread>
 #include <vector>
@@ -11,8 +13,10 @@ namespace davix {
 
 /// Fixed-size worker pool executing std::function tasks FIFO.
 ///
-/// Used for the server-side request workers and for the client-side
-/// parallel operations (multi-stream downloads, concurrent dispatch).
+/// Used for the server-side request workers, for the client-side
+/// parallel operations (multi-stream downloads, concurrent dispatch),
+/// and as the per-Context dispatcher behind the parallel-for primitives
+/// and the asynchronous read-ahead window.
 class ThreadPool {
  public:
   /// Spawns `num_threads` workers (minimum 1).
@@ -31,24 +35,40 @@ class ThreadPool {
 
   size_t num_threads() const { return workers_.size(); }
 
+  /// Task accounting: accepted by Submit / finished executing. The
+  /// difference is the queued-or-running backlog.
+  uint64_t tasks_submitted() const {
+    return submitted_.load(std::memory_order_relaxed);
+  }
+  uint64_t tasks_executed() const {
+    return executed_.load(std::memory_order_relaxed);
+  }
+
  private:
   void WorkerLoop();
 
   BlockingQueue<std::function<void()>> queue_;
   std::vector<std::thread> workers_;
+  std::atomic<uint64_t> submitted_{0};
+  std::atomic<uint64_t> executed_{0};
 };
 
-/// Runs `fn(i)` for i in [0, n) across up to `parallelism` threads and
-/// waits for completion. Exceptions must not escape fn.
-void ParallelFor(size_t n, size_t parallelism,
+/// Runs `fn(i)` for i in [0, n) across up to `parallelism` concurrent
+/// executors drawn from `pool`, and waits for completion. The calling
+/// thread always participates in the work, so the call makes progress
+/// (and cannot deadlock) even when every pool worker is busy — including
+/// when the caller itself runs on one of `pool`'s threads. `pool` may be
+/// null, which degrades to a serial loop on the caller. Exceptions must
+/// not escape fn.
+void ParallelFor(ThreadPool* pool, size_t n, size_t parallelism,
                  const std::function<void(size_t)>& fn);
 
 /// Like ParallelFor, but `fn` returning false requests cancellation:
-/// indices no worker has claimed yet are skipped, while calls already in
-/// flight run to completion. Returns true iff every index ran and
+/// indices no executor has claimed yet are skipped, while calls already
+/// in flight run to completion. Returns true iff every index ran and
 /// returned true — the first-error-cancellation primitive behind the
 /// parallel vectored-read dispatcher.
-bool ParallelForCancellable(size_t n, size_t parallelism,
+bool ParallelForCancellable(ThreadPool* pool, size_t n, size_t parallelism,
                             const std::function<bool(size_t)>& fn);
 
 }  // namespace davix

@@ -1,10 +1,31 @@
 #include "core/context.h"
 
+#include <algorithm>
+#include <thread>
+
 namespace davix {
 namespace core {
 
-Context::Context(SessionPoolConfig pool_config)
-    : pool_(std::make_unique<SessionPool>(pool_config)) {}
+Context::Context(SessionPoolConfig pool_config, size_t dispatcher_threads)
+    : pool_(std::make_unique<SessionPool>(pool_config)),
+      dispatcher_threads_(dispatcher_threads) {}
+
+ThreadPool& Context::dispatcher() {
+  std::lock_guard<std::mutex> lock(dispatcher_mu_);
+  if (!dispatcher_) {
+    size_t threads = dispatcher_threads_;
+    if (threads == 0) {
+      threads = std::clamp<size_t>(std::thread::hardware_concurrency(), 4, 16);
+    }
+    dispatcher_ = std::make_unique<ThreadPool>(threads);
+  }
+  return *dispatcher_;
+}
+
+bool Context::dispatcher_started() const {
+  std::lock_guard<std::mutex> lock(dispatcher_mu_);
+  return dispatcher_ != nullptr;
+}
 
 IoCounters Context::SnapshotCounters() const {
   IoCounters out;

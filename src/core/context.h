@@ -4,8 +4,10 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 
 #include "common/stats.h"
+#include "common/thread_pool.h"
 #include "core/session_pool.h"
 
 namespace davix {
@@ -26,17 +28,31 @@ struct ContextStats {
 };
 
 /// Root object of the library, like davix::Context: owns the session
-/// pool (§2.2) and the I/O accounting. One Context is meant to be shared
-/// by all threads of an application; everything on it is thread-safe.
+/// pool (§2.2), the shared dispatcher thread pool, and the I/O
+/// accounting. One Context is meant to be shared by all threads of an
+/// application; everything on it is thread-safe.
 class Context {
  public:
-  explicit Context(SessionPoolConfig pool_config = {});
+  /// `dispatcher_threads` bounds the shared dispatcher pool; 0 = auto
+  /// (hardware concurrency, clamped to [4, 16]).
+  explicit Context(SessionPoolConfig pool_config = {},
+                   size_t dispatcher_threads = 0);
 
   Context(const Context&) = delete;
   Context& operator=(const Context&) = delete;
 
   SessionPool& pool() { return *pool_; }
   ContextStats& stats() { return stats_; }
+
+  /// The shared dispatcher pool: a lazily started, bounded ThreadPool
+  /// that runs every concurrent client-side operation issued through
+  /// this Context — parallel vectored-read batches, multi-stream
+  /// downloads, and the asynchronous read-ahead window. Starting it on
+  /// first use keeps Contexts that never fan out thread-free.
+  ThreadPool& dispatcher();
+
+  /// True once dispatcher() has been called (the pool is running).
+  bool dispatcher_started() const;
 
   /// Consistent snapshot of the counters (plus pool connection counts)
   /// as a plain IoCounters value for reporting.
@@ -49,6 +65,11 @@ class Context {
  private:
   std::unique_ptr<SessionPool> pool_;
   ContextStats stats_;
+  size_t dispatcher_threads_;
+  mutable std::mutex dispatcher_mu_;
+  /// Declared last: destroyed first, so in-flight dispatcher tasks that
+  /// touch the session pool or the stats finish before those members go.
+  std::unique_ptr<ThreadPool> dispatcher_;
 };
 
 }  // namespace core

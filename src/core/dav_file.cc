@@ -250,9 +250,15 @@ Result<std::vector<std::string>> DavFile::ReadPartialVecAt(
   }
   parallelism = std::max<size_t>(1, std::min(parallelism, batches.size()));
 
+  // Single-batch (or serial) dispatches stay on the calling thread and
+  // never start the dispatcher; multi-batch dispatches run on the shared
+  // per-Context pool instead of spawning threads per call.
+  ThreadPool* dispatcher =
+      batches.size() > 1 && parallelism > 1 ? &context_->dispatcher() : nullptr;
+
   VecDispatchState state;
   ParallelForCancellable(
-      batches.size(), parallelism, [&](size_t batch_index) {
+      dispatcher, batches.size(), parallelism, [&](size_t batch_index) {
         Status status = FetchVecBatch(replica, batches[batch_index], params,
                                       ranges, &state, &results);
         if (!status.ok()) {

@@ -13,7 +13,7 @@ Result<int> DavPosix::Open(const std::string& url,
   DAVIX_ASSIGN_OR_RETURN(DavFile file, DavFile::Make(context_, url));
   DAVIX_ASSIGN_OR_RETURN(FileInfo info, file.Stat(params));
   auto open_file = std::make_shared<OpenFile>();
-  open_file->file = std::make_unique<DavFile>(std::move(file));
+  open_file->file = std::make_shared<DavFile>(std::move(file));
   open_file->params = params;
   open_file->size = info.size;
   std::lock_guard<std::mutex> lock(mu_);
@@ -45,22 +45,60 @@ Result<std::string> DavPosix::Read(int fd, size_t count) {
     file->cursor += data.size();
     return data;
   }
-
-  // Read-ahead path: serve from the buffered window, refilling it with
-  // one large read when the cursor leaves it.
-  uint64_t buf_end = file->buffer_offset + file->buffer.size();
-  if (file->cursor < file->buffer_offset || file->cursor + want > buf_end) {
-    uint64_t fetch = std::max<uint64_t>(want, file->params.readahead_bytes);
-    fetch = std::min(fetch, file->size - file->cursor);
-    DAVIX_ASSIGN_OR_RETURN(
-        std::string data,
-        file->file->ReadPartial(file->cursor, fetch, file->params));
-    file->buffer_offset = file->cursor;
-    file->buffer = std::move(data);
+  if (file->params.readahead_window_chunks > 0) {
+    return ReadWindowed(file.get(), want);
   }
-  std::string out = file->buffer.substr(
-      file->cursor - file->buffer_offset, want);
-  file->cursor += out.size();
+  return ReadBuffered(file.get(), want);
+}
+
+Result<std::string> DavPosix::ReadBuffered(OpenFile* file, uint64_t want) {
+  // Synchronous read-ahead: serve from the buffered window, refilling it
+  // with one large read when the cursor leaves it. A read straddling the
+  // buffer end serves the buffered prefix and fetches only the missing
+  // suffix — already-buffered tail bytes are never refetched. The cursor
+  // only advances on success.
+  uint64_t pos = file->cursor;
+  uint64_t buf_end = file->buffer_offset + file->buffer.size();
+  std::string out;
+  if (pos >= file->buffer_offset && pos < buf_end) {
+    uint64_t prefix = std::min<uint64_t>(want, buf_end - pos);
+    out.assign(file->buffer, pos - file->buffer_offset, prefix);
+    pos += prefix;
+    want -= prefix;
+  }
+  if (want > 0) {
+    uint64_t fetch = std::max<uint64_t>(want, file->params.readahead_bytes);
+    fetch = std::min(fetch, file->size - pos);
+    DAVIX_ASSIGN_OR_RETURN(
+        std::string data, file->file->ReadPartial(pos, fetch, file->params));
+    file->buffer_offset = pos;
+    file->buffer = std::move(data);
+    uint64_t take = std::min<uint64_t>(want, file->buffer.size());
+    out.append(file->buffer, 0, take);
+    pos += take;
+  }
+  file->cursor = pos;
+  return out;
+}
+
+Result<std::string> DavPosix::ReadWindowed(OpenFile* file, uint64_t want) {
+  if (!file->stream) {
+    ReadAheadStreamConfig config;
+    config.chunk_bytes = file->params.readahead_bytes;
+    config.window_chunks = file->params.readahead_window_chunks;
+    config.file_size = file->size;
+    // The fetch closure owns everything it touches: a Close (or even
+    // DavPosix destruction) while chunks are in flight stays safe.
+    std::shared_ptr<DavFile> dav = file->file;
+    RequestParams params = file->params;
+    file->stream = std::make_unique<ReadAheadStream>(
+        [dav, params](uint64_t offset, uint64_t length) {
+          return dav->ReadPartial(offset, length, params);
+        },
+        &context_->dispatcher(), config);
+  }
+  Result<std::string> out = file->stream->Read(file->cursor, want);
+  if (out.ok()) file->cursor += out->size();
   return out;
 }
 
@@ -108,6 +146,16 @@ Result<uint64_t> DavPosix::LSeek(int fd, int64_t offset, int whence) {
   int64_t target = base + offset;
   if (target < 0) {
     return Status::InvalidArgument("seek before start of file");
+  }
+  if (file->stream && static_cast<uint64_t>(target) != file->cursor &&
+      !file->stream->Covers(static_cast<uint64_t>(target))) {
+    // Out-of-window seek: eagerly cancel the prefetch, since the
+    // repositioned cursor makes every in-flight chunk stale and
+    // abandoning them now stops them from competing with the post-seek
+    // reads for the link. The next Read re-seeds at the new cursor. A
+    // target still inside the window keeps the prefetch alive — the
+    // next Read just drops the skipped chunks.
+    file->stream->Invalidate();
   }
   file->cursor = static_cast<uint64_t>(target);
   return file->cursor;

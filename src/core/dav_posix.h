@@ -10,6 +10,7 @@
 
 #include "common/status.h"
 #include "core/dav_file.h"
+#include "core/read_ahead_stream.h"
 
 namespace davix {
 namespace core {
@@ -34,7 +35,10 @@ class DavPosix {
   /// Sequential read of up to `count` bytes at the descriptor's cursor.
   /// Returns fewer bytes only at EOF (empty string = EOF). When
   /// RequestParams::readahead_bytes is set, reads are served from a
-  /// sliding read-ahead buffer.
+  /// read-ahead buffer: a synchronous single-window one by default, or —
+  /// when RequestParams::readahead_window_chunks > 0 — an asynchronous
+  /// sliding window that keeps that many chunk fetches in flight on the
+  /// Context's dispatcher pool.
   Result<std::string> Read(int fd, size_t count);
 
   /// Positional read, no cursor interaction.
@@ -70,17 +74,28 @@ class DavPosix {
 
  private:
   struct OpenFile {
-    std::unique_ptr<DavFile> file;
+    /// Shared so in-flight read-ahead fetches can keep the remote file
+    /// (and its HttpClient) alive across a Close that races them.
+    std::shared_ptr<DavFile> file;
     RequestParams params;
     uint64_t size = 0;
     uint64_t cursor = 0;
-    // Read-ahead window (valid when params.readahead_bytes > 0).
+    // Synchronous read-ahead buffer (params.readahead_bytes > 0,
+    // params.readahead_window_chunks == 0).
     uint64_t buffer_offset = 0;
     std::string buffer;
-    std::mutex mu;  // guards cursor + buffer
+    // Asynchronous sliding window (params.readahead_window_chunks > 0),
+    // created lazily on the first buffered Read.
+    std::unique_ptr<ReadAheadStream> stream;
+    std::mutex mu;  // guards cursor + buffer + stream
   };
 
   Result<std::shared_ptr<OpenFile>> Lookup(int fd) const;
+
+  /// Serves Read from the synchronous single-buffer window.
+  Result<std::string> ReadBuffered(OpenFile* file, uint64_t want);
+  /// Serves Read from the asynchronous sliding window.
+  Result<std::string> ReadWindowed(OpenFile* file, uint64_t want);
 
   Context* context_;
   mutable std::mutex mu_;

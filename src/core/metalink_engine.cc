@@ -128,7 +128,9 @@ Result<std::string> MetalinkEngine::MultiStreamGet(
   std::mutex error_mu;
   Status first_error = Status::OK();
 
-  ParallelFor(streams, streams, [&](size_t stream) {
+  ThreadPool* dispatcher =
+      streams > 1 ? &client_->context()->dispatcher() : nullptr;
+  ParallelFor(dispatcher, streams, streams, [&](size_t stream) {
     uint64_t shard_begin = static_cast<uint64_t>(stream) * shard_bytes;
     uint64_t shard_end = std::min(size, shard_begin + shard_bytes);
     RequestParams chunk_params = params;

@@ -1,0 +1,133 @@
+#include "core/read_ahead_stream.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace davix {
+namespace core {
+
+ReadAheadStream::ReadAheadStream(ReadAheadFetchFn fetch, ThreadPool* pool,
+                                 ReadAheadStreamConfig config)
+    : fetch_(std::move(fetch)), pool_(pool), config_(config) {
+  if (config_.chunk_bytes == 0) config_.chunk_bytes = 256 * 1024;
+  if (config_.window_chunks == 0) config_.window_chunks = 1;
+}
+
+ReadAheadStream::~ReadAheadStream() { Invalidate(); }
+
+void ReadAheadStream::Invalidate() {
+  for (Chunk& chunk : window_) {
+    chunk.state->abandoned.store(true, std::memory_order_release);
+  }
+  window_.clear();
+}
+
+void ReadAheadStream::TopUp() {
+  while (window_.size() < config_.window_chunks &&
+         window_end_ < config_.file_size) {
+    Chunk chunk;
+    chunk.offset = window_end_;
+    chunk.length =
+        std::min<uint64_t>(config_.chunk_bytes, config_.file_size - window_end_);
+    chunk.state = std::make_shared<ChunkState>();
+    window_end_ += chunk.length;
+
+    auto state = chunk.state;
+    auto fetch = fetch_;
+    uint64_t offset = chunk.offset;
+    uint64_t length = chunk.length;
+    auto task = [state, fetch, offset, length] {
+      if (state->claimed.exchange(true, std::memory_order_acq_rel)) {
+        return;  // the consumer ran (or is running) this fetch inline
+      }
+      Result<std::string> data{std::string()};
+      if (state->abandoned.load(std::memory_order_acquire)) {
+        // Cancelled before starting: never touches the network.
+        data = Status::IoError("read-ahead fetch cancelled");
+      } else {
+        data = fetch(offset, length);
+      }
+      std::lock_guard<std::mutex> lock(state->mu);
+      state->data = std::move(data);
+      state->done = true;
+      state->cv.notify_all();
+    };
+    // A pool that stopped accepting work (Context teardown) degrades to
+    // a synchronous fetch on the consumer thread.
+    if (pool_ == nullptr || !pool_->Submit(task)) task();
+
+    window_.push_back(std::move(chunk));
+  }
+}
+
+Result<std::string> ReadAheadStream::WaitForChunk(const Chunk& chunk) {
+  if (!chunk.state->claimed.exchange(true, std::memory_order_acq_rel)) {
+    // The pool task for this chunk has not started — it may be queued
+    // behind this very thread if the consumer runs on the dispatcher
+    // pool. Execute the fetch inline instead of blocking on it; the
+    // task, when it eventually runs, sees `claimed` and exits.
+    Result<std::string> data = fetch_(chunk.offset, chunk.length);
+    std::lock_guard<std::mutex> lock(chunk.state->mu);
+    chunk.state->data = std::move(data);
+    chunk.state->done = true;
+  }
+  std::unique_lock<std::mutex> lock(chunk.state->mu);
+  chunk.state->cv.wait(lock, [&] { return chunk.state->done; });
+  Result<std::string> data = std::move(chunk.state->data);
+  DAVIX_RETURN_IF_ERROR(data.status());
+  if (data->size() != chunk.length) {
+    return Status::ProtocolError("read-ahead chunk short read");
+  }
+  return data;
+}
+
+Result<std::string> ReadAheadStream::Read(uint64_t position, size_t count) {
+  if (position >= config_.file_size || count == 0) return std::string();
+  uint64_t want = std::min<uint64_t>(count, config_.file_size - position);
+
+  // Re-align the window with the cursor: chunks entirely behind it are
+  // dropped (forward seek inside the window keeps the rest in flight);
+  // a cursor the window does not cover at all re-seeds from scratch.
+  while (!window_.empty() &&
+         window_.front().offset + window_.front().length <= position) {
+    window_.front().state->abandoned.store(true, std::memory_order_release);
+    window_.pop_front();
+  }
+  if (window_.empty() || window_.front().offset > position) {
+    Invalidate();
+    window_end_ = position;
+  }
+
+  std::string out;
+  out.reserve(want);
+  while (want > 0) {
+    TopUp();
+    Chunk& front = window_.front();
+    Result<std::string> data = WaitForChunk(front);
+    if (!data.ok()) {
+      // First error surfaces here, exactly once: the rest of the window
+      // is cancelled and the next Read re-seeds at the caller's cursor.
+      Invalidate();
+      return data.status();
+    }
+    uint64_t chunk_pos = position - front.offset;
+    uint64_t take = std::min<uint64_t>(want, front.length - chunk_pos);
+    out.append(*data, chunk_pos, take);
+    position += take;
+    want -= take;
+    if (position >= front.offset + front.length) {
+      // Chunk fully consumed; pop and immediately keep the pipe full.
+      window_.pop_front();
+      TopUp();
+    } else {
+      // Partially consumed front: restore its payload for the next Read.
+      // No lock needed — the fetch task finished (done is true), so the
+      // consumer thread is the only one touching this state now.
+      front.state->data = std::move(data);
+    }
+  }
+  return out;
+}
+
+}  // namespace core
+}  // namespace davix

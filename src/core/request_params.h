@@ -76,11 +76,20 @@ struct RequestParams {
   std::string password;
 
   // --- misc --------------------------------------------------------------
-  /// Sequential read-ahead window for DavPosix::Read (0 = none). Kept off
-  /// by default: the paper's davix relies on vectored reads instead of
-  /// the sliding-window buffering XRootD uses; turning this on is the
-  /// E7 ablation.
+  /// Sequential read-ahead for DavPosix::Read (0 = none). Kept off by
+  /// default: the paper's davix relies on vectored reads instead of the
+  /// sliding-window buffering XRootD uses; turning this on is the E7
+  /// ablation. With `readahead_window_chunks` == 0 this is one
+  /// synchronous buffer of `readahead_bytes`; otherwise it is the chunk
+  /// size of the asynchronous sliding window.
   uint64_t readahead_bytes = 0;
+  /// Asynchronous sliding-window depth for DavPosix::Read: up to this
+  /// many `readahead_bytes`-sized range-GETs are kept in flight ahead of
+  /// the consumer, each on its own pooled session, dispatched on the
+  /// per-Context pool — the XRootD-style window that hides per-chunk
+  /// round trips on high-RTT paths. 0 (default) keeps the synchronous
+  /// single-buffer behaviour. Ignored while `readahead_bytes` == 0.
+  size_t readahead_window_chunks = 0;
   std::string user_agent = "libdavix-repro/1.0";
 };
 

@@ -475,19 +475,83 @@ TEST(ThreadPoolTest, RejectsAfterShutdown) {
   EXPECT_FALSE(pool.Submit([] {}));
 }
 
+TEST(ThreadPoolTest, TaskCountAccounting) {
+  ThreadPool pool(2);
+  EXPECT_EQ(pool.tasks_submitted(), 0u);
+  EXPECT_EQ(pool.tasks_executed(), 0u);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(pool.Submit([] {}));
+  }
+  EXPECT_EQ(pool.tasks_submitted(), 50u);
+  pool.Shutdown();
+  EXPECT_EQ(pool.tasks_executed(), 50u);
+  // Rejected submissions are not counted.
+  EXPECT_FALSE(pool.Submit([] {}));
+  EXPECT_EQ(pool.tasks_submitted(), 50u);
+}
+
 TEST(ParallelForTest, CoversAllIndicesOnce) {
+  ThreadPool pool(8);
   std::vector<std::atomic<int>> hits(257);
-  ParallelFor(hits.size(), 8, [&](size_t i) { hits[i].fetch_add(1); });
+  ParallelFor(&pool, hits.size(), 8, [&](size_t i) { hits[i].fetch_add(1); });
   for (auto& h : hits) EXPECT_EQ(h.load(), 1);
 }
 
+TEST(ParallelForTest, NullPoolDegradesToSerial) {
+  std::vector<int> order;
+  ParallelFor(nullptr, 5, 8, [&](size_t i) {
+    order.push_back(static_cast<int>(i));
+  });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
 TEST(ParallelForTest, ZeroItemsIsNoop) {
-  ParallelFor(0, 4, [](size_t) { FAIL(); });
+  ThreadPool pool(2);
+  ParallelFor(&pool, 0, 4, [](size_t) { FAIL(); });
+}
+
+TEST(ParallelForTest, NoRawThreadsSpawned) {
+  // All concurrency comes from the pool: the helpers (parallelism - 1 of
+  // them) are pool tasks, and the caller participates directly.
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  ParallelFor(&pool, 64, 4, [&](size_t) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 64);
+  EXPECT_EQ(pool.tasks_submitted(), 3u);
+}
+
+TEST(ParallelForTest, CompletesWhenPoolIsSaturated) {
+  // One worker, blocked by an unrelated long task: the caller's own
+  // claim loop must still finish every index without waiting for the
+  // helper to be scheduled.
+  ThreadPool pool(1);
+  std::atomic<bool> release{false};
+  pool.Submit([&] {
+    while (!release.load()) std::this_thread::yield();
+  });
+  std::atomic<int> ran{0};
+  ParallelFor(&pool, 32, 4, [&](size_t) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 32);
+  release.store(true);
+}
+
+TEST(ParallelForTest, NestedUseFromPoolThreadsDoesNotDeadlock) {
+  // Outer parallel-for runs on the pool; each outer index launches an
+  // inner parallel-for on the same pool. The caller-participates design
+  // guarantees progress even though the pool (2 threads) is far smaller
+  // than the total demand.
+  ThreadPool pool(2);
+  std::atomic<int> inner_runs{0};
+  ParallelFor(&pool, 4, 4, [&](size_t) {
+    ParallelFor(&pool, 8, 4, [&](size_t) { inner_runs.fetch_add(1); });
+  });
+  EXPECT_EQ(inner_runs.load(), 32);
 }
 
 TEST(ParallelForCancellableTest, AllTrueRunsEverythingAndReturnsTrue) {
+  ThreadPool pool(8);
   std::vector<std::atomic<int>> hits(123);
-  EXPECT_TRUE(ParallelForCancellable(hits.size(), 8, [&](size_t i) {
+  EXPECT_TRUE(ParallelForCancellable(&pool, hits.size(), 8, [&](size_t i) {
     hits[i].fetch_add(1);
     return true;
   }));
@@ -497,20 +561,23 @@ TEST(ParallelForCancellableTest, AllTrueRunsEverythingAndReturnsTrue) {
 TEST(ParallelForCancellableTest, FalseStopsSchedulingRemainingIndices) {
   // With parallelism 1 the semantics are exact: everything after the
   // failing index is skipped.
+  ThreadPool pool(4);
   std::atomic<int> ran{0};
-  EXPECT_FALSE(ParallelForCancellable(100, 1, [&](size_t i) {
+  EXPECT_FALSE(ParallelForCancellable(&pool, 100, 1, [&](size_t i) {
     ran.fetch_add(1);
     return i < 10;
   }));
   EXPECT_EQ(ran.load(), 11);
 }
 
-TEST(ParallelForCancellableTest, ConcurrentCancelBoundsWorkPerWorker) {
-  // Every call fails, so each of the 4 workers cancels after its first
-  // claimed index: at most `parallelism` of the 10k indices ever run,
-  // whatever the thread interleaving.
+TEST(ParallelForCancellableTest, ConcurrentCancelBoundsWorkPerExecutor) {
+  // Every call fails, so each executor (the caller plus up to 3 pool
+  // helpers) cancels after its first claimed index: at most
+  // `parallelism` of the 10k indices ever run, whatever the
+  // interleaving.
+  ThreadPool pool(4);
   std::atomic<int> ran{0};
-  EXPECT_FALSE(ParallelForCancellable(10'000, 4, [&](size_t) {
+  EXPECT_FALSE(ParallelForCancellable(&pool, 10'000, 4, [&](size_t) {
     ran.fetch_add(1);
     return false;
   }));
@@ -518,8 +585,35 @@ TEST(ParallelForCancellableTest, ConcurrentCancelBoundsWorkPerWorker) {
   EXPECT_LE(ran.load(), 4);
 }
 
+TEST(ParallelForCancellableTest, InFlightCallsRunToCompletion) {
+  // A cancellation must not tear down calls already claimed: their
+  // effects stay visible.
+  ThreadPool pool(4);
+  std::atomic<int> completed{0};
+  EXPECT_FALSE(ParallelForCancellable(&pool, 64, 4, [&](size_t i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    completed.fetch_add(1);
+    return i != 0;  // index 0 cancels
+  }));
+  // Everything that ran finished its body (no partial counts possible
+  // here by construction; this is the run-to-completion contract).
+  EXPECT_GE(completed.load(), 1);
+}
+
+TEST(ParallelForCancellableTest, NestedCancellationDoesNotDeadlock) {
+  ThreadPool pool(2);
+  std::atomic<int> outer_ran{0};
+  EXPECT_FALSE(ParallelForCancellable(&pool, 4, 4, [&](size_t) {
+    outer_ran.fetch_add(1);
+    return ParallelForCancellable(&pool, 8, 4,
+                                  [&](size_t i) { return i < 3; });
+  }));
+  EXPECT_GE(outer_ran.load(), 1);
+}
+
 TEST(ParallelForCancellableTest, ZeroItemsIsVacuouslyTrue) {
-  EXPECT_TRUE(ParallelForCancellable(0, 4, [](size_t) {
+  ThreadPool pool(2);
+  EXPECT_TRUE(ParallelForCancellable(&pool, 0, 4, [](size_t) {
     []() { FAIL(); }();
     return false;
   }));
