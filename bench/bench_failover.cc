@@ -23,9 +23,10 @@ namespace davix {
 namespace bench {
 namespace {
 
-constexpr int kReads = 16;
 constexpr size_t kObjectBytes = 2 * 1024 * 1024;
 constexpr char kPath[] = "/dataset/events.bin";
+
+int Reads(bool smoke) { return smoke ? 6 : 16; }
 
 struct Deployment {
   std::vector<HttpNode> replicas;
@@ -58,7 +59,8 @@ Deployment Deploy(const netsim::LinkProfile& link, const std::string& body) {
 }
 
 void RunCell(const netsim::LinkProfile& link, const std::string& body,
-             int replicas_down, bool metalink_enabled) {
+             int replicas_down, bool metalink_enabled, int reads,
+             JsonReporter* json) {
   Deployment d = Deploy(link, body);
   for (int i = 0; i < replicas_down; ++i) {
     d.replicas[i].server->faults().SetServerDown(true);
@@ -74,17 +76,25 @@ void RunCell(const netsim::LinkProfile& link, const std::string& body,
 
   int successes = 0;
   Stopwatch stopwatch;
-  for (int i = 0; i < kReads; ++i) {
+  for (int i = 0; i < reads; ++i) {
     auto data = file.ReadPartial(static_cast<uint64_t>(i) * 4096, 4096,
                                  params);
     if (data.ok()) ++successes;
   }
   double total = stopwatch.ElapsedSeconds();
   IoCounters io = context.SnapshotCounters();
+  const char* mode = metalink_enabled ? "failover" : "no-metalink";
   std::printf("%-6s %-11s %6d %10d/%-3d %10.3f %11llu\n", link.name.c_str(),
-              metalink_enabled ? "failover" : "no-metalink", replicas_down,
-              successes, kReads, total,
+              mode, replicas_down, successes, reads, total,
               static_cast<unsigned long long>(io.replica_failovers));
+  json->AddRow()
+      .Str("link", link.name)
+      .Str("mode", mode)
+      .Int("replicas_down", replicas_down)
+      .Int("reads_ok", successes)
+      .Int("reads_total", reads)
+      .Num("seconds", total)
+      .Int("failovers", io.replica_failovers);
   for (HttpNode& node : d.replicas) node.server->Stop();
   d.fed_server->Stop();
 }
@@ -93,26 +103,36 @@ void RunCell(const netsim::LinkProfile& link, const std::string& body,
 }  // namespace bench
 }  // namespace davix
 
-int main() {
+int main(int argc, char** argv) {
   using namespace davix;
   using namespace davix::bench;
+  BenchArgs args = ParseBenchArgs(argc, argv);
   PrintHeader("E5: Metalink fail-over resilience",
               "§2.4 of the libdavix paper (fail-over strategy)");
   Rng rng(5);
   std::string body = rng.Bytes(kObjectBytes);
+  int reads = Reads(args.smoke);
 
+  JsonReporter json("failover");
   std::printf("%-6s %-11s %6s %14s %10s %11s\n", "link", "mode", "down",
               "ok/total", "time[s]", "failovers");
-  for (const netsim::LinkProfile& link :
-       {netsim::LinkProfile::Lan(), netsim::LinkProfile::Wan()}) {
+  std::vector<netsim::LinkProfile> links =
+      args.smoke
+          ? std::vector<netsim::LinkProfile>{netsim::LinkProfile::Lan()}
+          : std::vector<netsim::LinkProfile>{netsim::LinkProfile::Lan(),
+                                             netsim::LinkProfile::Wan()};
+  for (const netsim::LinkProfile& link : links) {
     for (int down = 0; down <= 2; ++down) {
-      RunCell(link, body, down, /*metalink_enabled=*/true);
+      RunCell(link, body, down, /*metalink_enabled=*/true, reads, &json);
     }
     // Baselines: with a healthy primary, fail-over costs nothing extra;
     // with a dead primary and no Metalink, every read is a hard error.
-    RunCell(link, body, /*replicas_down=*/0, /*metalink_enabled=*/false);
-    RunCell(link, body, /*replicas_down=*/1, /*metalink_enabled=*/false);
+    RunCell(link, body, /*replicas_down=*/0, /*metalink_enabled=*/false,
+            reads, &json);
+    RunCell(link, body, /*replicas_down=*/1, /*metalink_enabled=*/false,
+            reads, &json);
   }
+  json.WriteTo(args.json_path);
   std::printf(
       "\nexpected shape: with fail-over, 16/16 reads succeed whenever at\n"
       "least one replica is alive; 0 replicas down costs nothing extra\n"

@@ -142,7 +142,8 @@ Cell RunXrdCell(const netsim::LinkProfile& link,
 }
 
 void RunMatrix(double fraction, int reps, uint64_t window_bytes,
-               std::shared_ptr<httpd::ObjectStore> store) {
+               std::shared_ptr<httpd::ObjectStore> store,
+               JsonReporter* json) {
   std::printf("\n--- fraction of events read: %.0f %% ---\n", fraction * 100);
   std::printf("%-18s %-8s %10s %8s %14s   %s\n", "link (scaled RTT)",
               "protocol", "time[s]", "sd", "vector reads", "profile");
@@ -168,6 +169,13 @@ void RunMatrix(double fraction, int reps, uint64_t window_bytes,
                 row.protocol.c_str(), row.cell.mean_seconds, row.cell.stddev,
                 static_cast<unsigned long long>(row.cell.vector_reads),
                 Bar(row.cell.mean_seconds, max_time).c_str());
+    json->AddRow()
+        .Str("link", row.link)
+        .Str("protocol", row.protocol)
+        .Num("fraction", fraction)
+        .Num("mean_seconds", row.cell.mean_seconds)
+        .Num("stddev_seconds", row.cell.stddev)
+        .Int("vector_reads", row.cell.vector_reads);
   }
 
   // Paper-claim summary lines.
@@ -191,12 +199,20 @@ void RunMatrix(double fraction, int reps, uint64_t window_bytes,
               (wan_http - wan_xrd) / wan_xrd * 100);
   std::printf("  WAN/LAN slowdown (HTTP): paper 2.09x -> measured %.2fx\n",
               lan_http > 0 ? wan_http / lan_http : 0.0);
+  json->AddRow()
+      .Str("link", "summary")
+      .Num("fraction", fraction)
+      .Num("lan_http_vs_xrd_pct", (lan_xrd - lan_http) / lan_http * 100)
+      .Num("pan_http_vs_xrd_pct", (pan_xrd - pan_http) / pan_http * 100)
+      .Num("wan_xrd_vs_http_pct", (wan_http - wan_xrd) / wan_xrd * 100)
+      .Num("wan_over_lan_http", lan_http > 0 ? wan_http / lan_http : 0.0);
 }
 
 int Main(int argc, char** argv) {
   int reps = 3;
   bool fractions = false;
   bool quick = false;
+  std::string json_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
       reps = std::atoi(argv[++i]);
@@ -204,6 +220,8 @@ int Main(int argc, char** argv) {
       fractions = true;
     } else if (std::strcmp(argv[i], "--quick") == 0) {
       quick = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
     } else if (std::strcmp(argv[i], "--smoke") == 0) {
       // CI smoke mode: smallest dataset, one repetition, no fractions.
       quick = true;
@@ -239,11 +257,13 @@ int Main(int argc, char** argv) {
   auto store = std::make_shared<httpd::ObjectStore>();
   store->Put(kTreePath, std::move(tree));
 
-  RunMatrix(1.0, reps, window_bytes, store);
+  JsonReporter json("fig4_analysis");
+  RunMatrix(1.0, reps, window_bytes, store, &json);
   if (fractions) {
-    RunMatrix(0.5, reps, window_bytes, store);
-    RunMatrix(0.1, reps, window_bytes, store);
+    RunMatrix(0.5, reps, window_bytes, store, &json);
+    RunMatrix(0.1, reps, window_bytes, store, &json);
   }
+  json.WriteTo(json_path);
   return 0;
 }
 

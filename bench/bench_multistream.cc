@@ -26,11 +26,14 @@ namespace davix {
 namespace bench {
 namespace {
 
-constexpr size_t kObjectBytes = 24 * 1024 * 1024;
 constexpr char kPath[] = "/big/dataset.bin";
 
+size_t ObjectBytes(bool smoke) {
+  return (smoke ? 6 : 24) * 1024 * 1024;
+}
+
 void RunCell(const netsim::LinkProfile& link, const std::string& body,
-             size_t streams) {
+             size_t streams, JsonReporter* json) {
   // Fresh replicas per cell so load counters are per-run.
   std::vector<HttpNode> replicas;
   auto catalog = std::make_shared<fed::ReplicaCatalog>();
@@ -75,11 +78,20 @@ void RunCell(const netsim::LinkProfile& link, const std::string& body,
   double mbps = static_cast<double>(body.size()) / total / 1e6;
   std::printf("%-6s %8zu %10.3f %12.1f   ", link.name.c_str(), streams,
               total, mbps);
-  for (HttpNode& node : replicas) {
-    std::printf(" %4llu", static_cast<unsigned long long>(
-                              node.handler->stats().get_requests.load()));
-    node.server->Stop();
+  JsonReporter::Row& row = json->AddRow()
+                               .Str("link", link.name)
+                               .Int("streams", streams)
+                               .Num("seconds", total)
+                               .Num("mbps", mbps);
+  uint64_t total_requests = 0;
+  for (size_t i = 0; i < replicas.size(); ++i) {
+    uint64_t requests = replicas[i].handler->stats().get_requests.load();
+    total_requests += requests;
+    std::printf(" %4llu", static_cast<unsigned long long>(requests));
+    row.Int("replica" + std::to_string(i) + "_requests", requests);
+    replicas[i].server->Stop();
   }
+  row.Int("total_requests", total_requests);
   std::printf("\n");
   (*fed_server)->Stop();
 }
@@ -88,22 +100,29 @@ void RunCell(const netsim::LinkProfile& link, const std::string& body,
 }  // namespace bench
 }  // namespace davix
 
-int main() {
+int main(int argc, char** argv) {
   using namespace davix;
   using namespace davix::bench;
+  BenchArgs args = ParseBenchArgs(argc, argv);
   PrintHeader("E6: multi-stream multi-replica download",
               "§2.4 of the libdavix paper (multi-stream strategy)");
   Rng rng(6);
-  std::string body = rng.Bytes(kObjectBytes);
+  std::string body = rng.Bytes(ObjectBytes(args.smoke));
 
+  JsonReporter json("multistream");
   std::printf("%-6s %8s %10s %12s   %s\n", "link", "streams", "time[s]",
               "MB/s", "requests per replica");
-  for (const netsim::LinkProfile& link :
-       {netsim::LinkProfile::Lan(), netsim::LinkProfile::Wan()}) {
+  std::vector<netsim::LinkProfile> links =
+      args.smoke
+          ? std::vector<netsim::LinkProfile>{netsim::LinkProfile::Lan()}
+          : std::vector<netsim::LinkProfile>{netsim::LinkProfile::Lan(),
+                                             netsim::LinkProfile::Wan()};
+  for (const netsim::LinkProfile& link : links) {
     for (size_t streams : {1u, 2u, 3u}) {
-      RunCell(link, body, streams);
+      RunCell(link, body, streams, &json);
     }
   }
+  json.WriteTo(args.json_path);
   std::printf(
       "\nexpected shape: on WAN, per-connection throughput is window-\n"
       "limited (~10 MB/s), so parallel streams aggregate substantially\n(bounded by per-connection slow-start ramps); on LAN a\n"

@@ -221,9 +221,10 @@ Outcome RunXrootd(const netsim::LinkProfile& link,
 }  // namespace bench
 }  // namespace davix
 
-int main() {
+int main(int argc, char** argv) {
   using namespace davix;
   using namespace davix::bench;
+  BenchArgs args = ParseBenchArgs(argc, argv);
   PrintHeader(
       "E2: pipelining head-of-line blocking vs pool dispatch/multiplexing",
       "Figure 1 + §2.2 of the libdavix paper");
@@ -232,28 +233,39 @@ int main() {
   store->Put("/obj", rng.Bytes(kObjectBytes));
   store->Put("/big", rng.Bytes(8 * 1024 * 1024));
 
+  JsonReporter json("pipelining_hol");
   std::printf("%-6s %-10s %12s %18s\n", "link", "strategy", "total[s]",
               "fast-req mean[ms]");
-  for (const netsim::LinkProfile& link :
-       {netsim::LinkProfile::Lan(), netsim::LinkProfile::PanEuropean()}) {
+  std::vector<netsim::LinkProfile> links =
+      args.smoke
+          ? std::vector<netsim::LinkProfile>{netsim::LinkProfile::Lan()}
+          : std::vector<netsim::LinkProfile>{netsim::LinkProfile::Lan(),
+                                             netsim::LinkProfile::PanEuropean()};
+  for (const netsim::LinkProfile& link : links) {
     HttpNode node = StartNode(link, store);
-    Outcome serial = RunSerial(node);
-    Outcome pipelined = RunPipelined(node);
-    Outcome pool = RunPool(node);
-    Outcome spdy = RunSpdyMux(link, node);
-    Outcome xrootd = RunXrootd(link, store);
-    std::printf("%-6s %-10s %12.3f %18.1f\n", link.name.c_str(), "serial",
-                serial.total_seconds, serial.fast_mean_ms);
-    std::printf("%-6s %-10s %12.3f %18.1f\n", link.name.c_str(), "pipelined",
-                pipelined.total_seconds, pipelined.fast_mean_ms);
-    std::printf("%-6s %-10s %12.3f %18.1f\n", link.name.c_str(), "pool",
-                pool.total_seconds, pool.fast_mean_ms);
-    std::printf("%-6s %-10s %12.3f %18.1f\n", link.name.c_str(), "spdy-mux",
-                spdy.total_seconds, spdy.fast_mean_ms);
-    std::printf("%-6s %-10s %12.3f %18.1f\n", link.name.c_str(), "xrootd-mux",
-                xrootd.total_seconds, xrootd.fast_mean_ms);
+    struct Strategy {
+      const char* name;
+      Outcome outcome;
+    };
+    std::vector<Strategy> strategies;
+    strategies.push_back({"serial", RunSerial(node)});
+    strategies.push_back({"pipelined", RunPipelined(node)});
+    strategies.push_back({"pool", RunPool(node)});
+    strategies.push_back({"spdy-mux", RunSpdyMux(link, node)});
+    strategies.push_back({"xrootd-mux", RunXrootd(link, store)});
+    for (const Strategy& strategy : strategies) {
+      std::printf("%-6s %-10s %12.3f %18.1f\n", link.name.c_str(),
+                  strategy.name, strategy.outcome.total_seconds,
+                  strategy.outcome.fast_mean_ms);
+      json.AddRow()
+          .Str("link", link.name)
+          .Str("strategy", strategy.name)
+          .Num("total_seconds", strategy.outcome.total_seconds)
+          .Num("fast_req_mean_ms", strategy.outcome.fast_mean_ms);
+    }
     node.server->Stop();
   }
+  json.WriteTo(args.json_path);
   std::printf(
       "\nexpected shape: with one slow request, 'pipelined' delays every\n"
       "fast request behind it (fast-req mean ~= the stall); 'pool' and\n"

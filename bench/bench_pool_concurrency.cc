@@ -30,7 +30,8 @@ constexpr size_t kObjectBytes = 64 * 1024;
 constexpr char kPath[] = "/hot/object.bin";
 
 void RunDavix(const netsim::LinkProfile& link,
-              std::shared_ptr<httpd::ObjectStore> store, size_t threads) {
+              std::shared_ptr<httpd::ObjectStore> store, size_t threads,
+              JsonReporter* json) {
   HttpNode node = StartHttpNode(link, store);
   // Dispatcher sized to the sweep point so T simulated client threads
   // really run T-wide.
@@ -55,11 +56,20 @@ void RunDavix(const netsim::LinkProfile& link,
               link.name.c_str(), threads, total, throughput,
               static_cast<unsigned long long>(io.connections_opened),
               static_cast<unsigned long long>(io.connections_reused));
+  json->AddRow()
+      .Str("link", link.name)
+      .Str("client", "davix")
+      .Int("threads", threads)
+      .Num("seconds", total)
+      .Num("requests_per_second", throughput)
+      .Int("connections_opened", io.connections_opened)
+      .Int("connections_reused", io.connections_reused);
   node.server->Stop();
 }
 
 void RunXrootd(const netsim::LinkProfile& link,
-               std::shared_ptr<httpd::ObjectStore> store, size_t threads) {
+               std::shared_ptr<httpd::ObjectStore> store, size_t threads,
+               JsonReporter* json) {
   auto server = StartXrdNode(link, store);
   auto client = std::move(xrootd::XrdClient::Connect("127.0.0.1", server->port())).value();
   if (!client->Login().ok()) std::exit(1);
@@ -80,11 +90,19 @@ void RunXrootd(const netsim::LinkProfile& link,
   double throughput = threads * kRequestsPerThread / total;
   std::printf("%-6s xrootd  T=%-3zu %10.3f %10.0f %12u %12s\n",
               link.name.c_str(), threads, total, throughput, 1, "-");
+  json->AddRow()
+      .Str("link", link.name)
+      .Str("client", "xrootd")
+      .Int("threads", threads)
+      .Num("seconds", total)
+      .Num("requests_per_second", throughput)
+      .Int("connections_opened", 1);
   server->Stop();
 }
 
 void RunSpdyMux(const netsim::LinkProfile& link,
-                std::shared_ptr<httpd::ObjectStore> store, size_t threads) {
+                std::shared_ptr<httpd::ObjectStore> store, size_t threads,
+                JsonReporter* json) {
   auto handler = std::make_shared<httpd::DavHandler>(store);
   auto router = std::make_shared<httpd::Router>();
   handler->Register(router.get(), "/");
@@ -119,6 +137,13 @@ void RunSpdyMux(const netsim::LinkProfile& link,
   double throughput = threads * kRequestsPerThread / total;
   std::printf("%-6s spdy    T=%-3zu %10.3f %10.0f %12u %12s\n",
               link.name.c_str(), threads, total, throughput, 1, "-");
+  json->AddRow()
+      .Str("link", link.name)
+      .Str("client", "spdy")
+      .Int("threads", threads)
+      .Num("seconds", total)
+      .Num("requests_per_second", throughput)
+      .Int("connections_opened", 1);
   (*server)->Stop();
 }
 
@@ -126,23 +151,29 @@ void RunSpdyMux(const netsim::LinkProfile& link,
 }  // namespace bench
 }  // namespace davix
 
-int main() {
+int main(int argc, char** argv) {
   using namespace davix;
   using namespace davix::bench;
+  BenchArgs args = ParseBenchArgs(argc, argv);
   PrintHeader("E8: pool size vs concurrency (pooled dispatch vs multiplexing)",
               "§2.2 of the libdavix paper (connection-count trade-off)");
   auto store = std::make_shared<httpd::ObjectStore>();
   Rng rng(8);
   store->Put(kPath, rng.Bytes(kObjectBytes));
 
+  JsonReporter json("pool_concurrency");
   std::printf("%-6s %-7s %-5s %10s %10s %12s %12s\n", "link", "client", "",
               "time[s]", "req/s", "conns", "reuses");
   netsim::LinkProfile lan = netsim::LinkProfile::Lan();
-  for (size_t threads : {1u, 2u, 4u, 8u, 16u}) {
-    RunDavix(lan, store, threads);
-    RunSpdyMux(lan, store, threads);
-    RunXrootd(lan, store, threads);
+  std::vector<size_t> sweep = args.smoke
+                                  ? std::vector<size_t>{1, 4}
+                                  : std::vector<size_t>{1, 2, 4, 8, 16};
+  for (size_t threads : sweep) {
+    RunDavix(lan, store, threads, &json);
+    RunSpdyMux(lan, store, threads, &json);
+    RunXrootd(lan, store, threads, &json);
   }
+  json.WriteTo(args.json_path);
   std::printf(
       "\nexpected shape: davix opens ~T connections (pool grows with\n"
       "concurrency, the paper's stated trade-off) while xrootd multiplexes\n"

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Fails on broken intra-repo markdown links.
+
+Scans every tracked *.md file for [text](target) links and checks that
+relative targets resolve to an existing file or directory (anchors are
+stripped; http/https/mailto targets are skipped). Run from anywhere;
+paths are resolved against the repository root (the parent of this
+script's directory).
+
+Exit status: 0 when every link resolves, 1 otherwise (broken links are
+listed on stderr). CI runs this in the docs job; it needs nothing but
+the Python standard library.
+"""
+
+import pathlib
+import re
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+SKIP_DIRS = {"build", "build-debug", ".git"}
+
+# [text](target) — target captured up to the first unescaped ')'.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+EXTERNAL_RE = re.compile(r"^(https?|mailto|ftp):")
+
+
+def markdown_files():
+    for path in sorted(REPO_ROOT.rglob("*.md")):
+        if not SKIP_DIRS.intersection(p.name for p in path.parents):
+            yield path
+
+
+def check_file(path: pathlib.Path):
+    broken = []
+    text = path.read_text(encoding="utf-8")
+    # Strip fenced code blocks (their [x](y) snippets are examples, not
+    # links), preserving newlines so reported line numbers stay true.
+    text = re.sub(r"```.*?```",
+                  lambda m: "\n" * m.group(0).count("\n"),
+                  text, flags=re.DOTALL)
+    for lineno_offset, match in (
+        (text[: m.start()].count("\n") + 1, m) for m in LINK_RE.finditer(text)
+    ):
+        target = match.group(1)
+        if EXTERNAL_RE.match(target) or target.startswith("#"):
+            continue
+        resolved = (path.parent / target.split("#", 1)[0]).resolve()
+        if not resolved.exists():
+            broken.append((lineno_offset, target))
+    return broken
+
+
+def main() -> int:
+    any_broken = False
+    checked = 0
+    for path in markdown_files():
+        checked += 1
+        for lineno, target in check_file(path):
+            any_broken = True
+            rel = path.relative_to(REPO_ROOT)
+            print(f"{rel}:{lineno}: broken link -> {target}", file=sys.stderr)
+    if any_broken:
+        return 1
+    print(f"markdown links OK ({checked} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

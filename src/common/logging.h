@@ -6,6 +6,8 @@
 
 namespace davix {
 
+/// Severity of a log statement; kTrace is the chattiest. The process
+/// threshold lives in SetLogLevel / DAVIX_LOG.
 enum class LogLevel : int {
   kTrace = 0,
   kDebug = 1,

@@ -53,12 +53,13 @@ std::string SampleStats::Summary(const std::string& unit) const {
 }
 
 std::string IoCounters::ToString() const {
-  char buf[320];
+  char buf[448];
   std::snprintf(
       buf, sizeof(buf),
       "requests=%llu rtts=%llu bytes_read=%llu bytes_written=%llu "
       "conn_opened=%llu conn_reused=%llu redirects=%llu retries=%llu "
-      "failovers=%llu vector_queries=%llu ranges=%llu",
+      "failovers=%llu vector_queries=%llu ranges=%llu cache_hits=%llu "
+      "cache_misses=%llu cache_evictions=%llu cache_bytes_saved=%llu",
       static_cast<unsigned long long>(requests),
       static_cast<unsigned long long>(network_round_trips),
       static_cast<unsigned long long>(bytes_read),
@@ -69,7 +70,11 @@ std::string IoCounters::ToString() const {
       static_cast<unsigned long long>(retries),
       static_cast<unsigned long long>(replica_failovers),
       static_cast<unsigned long long>(vector_queries),
-      static_cast<unsigned long long>(ranges_requested));
+      static_cast<unsigned long long>(ranges_requested),
+      static_cast<unsigned long long>(cache_hits),
+      static_cast<unsigned long long>(cache_misses),
+      static_cast<unsigned long long>(cache_evictions),
+      static_cast<unsigned long long>(cache_bytes_saved));
   return buf;
 }
 

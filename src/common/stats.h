@@ -46,6 +46,10 @@ struct IoCounters {
   uint64_t replica_failovers = 0;
   uint64_t vector_queries = 0;     ///< multi-range queries issued
   uint64_t ranges_requested = 0;   ///< individual ranges inside them
+  uint64_t cache_hits = 0;         ///< block-cache lookups that served bytes
+  uint64_t cache_misses = 0;       ///< block-cache lookups that went to the wire
+  uint64_t cache_evictions = 0;    ///< blocks evicted by the cache budget
+  uint64_t cache_bytes_saved = 0;  ///< payload bytes served from cache, not wire
 
   void Reset() { *this = IoCounters{}; }
   std::string ToString() const;

@@ -6,8 +6,10 @@
 namespace davix {
 namespace core {
 
-Context::Context(SessionPoolConfig pool_config, size_t dispatcher_threads)
+Context::Context(SessionPoolConfig pool_config, size_t dispatcher_threads,
+                 BlockCacheConfig cache_config)
     : pool_(std::make_unique<SessionPool>(pool_config)),
+      block_cache_(std::make_unique<BlockCache>(cache_config)),
       dispatcher_threads_(dispatcher_threads) {}
 
 ThreadPool& Context::dispatcher() {
@@ -46,6 +48,11 @@ IoCounters Context::SnapshotCounters() const {
       pool_->stats().connects.load(std::memory_order_relaxed);
   out.connections_reused =
       pool_->stats().recycled.load(std::memory_order_relaxed);
+  BlockCacheCounters cache = block_cache_->Snapshot();
+  out.cache_hits = cache.hits;
+  out.cache_misses = cache.misses;
+  out.cache_evictions = cache.evictions;
+  out.cache_bytes_saved = cache.bytes_saved;
   return out;
 }
 
@@ -63,6 +70,7 @@ void Context::ResetCounters() {
   pool_->stats().recycled.store(0, std::memory_order_relaxed);
   pool_->stats().discarded.store(0, std::memory_order_relaxed);
   pool_->stats().expired.store(0, std::memory_order_relaxed);
+  block_cache_->ResetCounters();
 }
 
 }  // namespace core

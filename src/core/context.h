@@ -8,6 +8,7 @@
 
 #include "common/stats.h"
 #include "common/thread_pool.h"
+#include "core/block_cache.h"
 #include "core/session_pool.h"
 
 namespace davix {
@@ -28,21 +29,38 @@ struct ContextStats {
 };
 
 /// Root object of the library, like davix::Context: owns the session
-/// pool (§2.2), the shared dispatcher thread pool, and the I/O
-/// accounting. One Context is meant to be shared by all threads of an
-/// application; everything on it is thread-safe.
+/// pool (§2.2), the shared dispatcher thread pool, the per-Context block
+/// cache, and the I/O accounting.
+///
+/// Ownership: the Context owns everything it hands out references to;
+/// `DavFile`/`DavPosix`/`HttpClient` objects hold a raw `Context*` and
+/// require the Context to outlive them. One Context is meant to be
+/// shared by all threads of an application.
+///
+/// Thread-safety: every member function and every object reachable from
+/// one (pool, dispatcher, cache, stats) is thread-safe.
 class Context {
  public:
   /// `dispatcher_threads` bounds the shared dispatcher pool; 0 = auto
-  /// (hardware concurrency, clamped to [4, 16]).
+  /// (hardware concurrency, clamped to [4, 16]). `cache_config` shapes
+  /// the shared block cache; the default (capacity 0) disables caching
+  /// entirely, keeping all read paths bit-identical to previous
+  /// behaviour.
   explicit Context(SessionPoolConfig pool_config = {},
-                   size_t dispatcher_threads = 0);
+                   size_t dispatcher_threads = 0,
+                   BlockCacheConfig cache_config = {});
 
   Context(const Context&) = delete;
   Context& operator=(const Context&) = delete;
 
   SessionPool& pool() { return *pool_; }
   ContextStats& stats() { return stats_; }
+
+  /// The shared block cache consulted and filled by every read path
+  /// (DavPosix::Read/PRead, the read-ahead window, ReadPartialVec).
+  /// Always present; `enabled()` is false when the Context was built
+  /// without a cache budget, and every operation is then a no-op.
+  BlockCache& block_cache() { return *block_cache_; }
 
   /// The shared dispatcher pool: a lazily started, bounded ThreadPool
   /// that runs every concurrent client-side operation issued through
@@ -54,21 +72,25 @@ class Context {
   /// True once dispatcher() has been called (the pool is running).
   bool dispatcher_started() const;
 
-  /// Consistent snapshot of the counters (plus pool connection counts)
-  /// as a plain IoCounters value for reporting.
+  /// Consistent snapshot of the counters (plus pool connection counts
+  /// and block-cache hit/miss/bytes-saved totals) as a plain IoCounters
+  /// value for reporting.
   IoCounters SnapshotCounters() const;
 
-  /// Zeroes all counters (pool stats included); benchmarks call this
-  /// between phases.
+  /// Zeroes all counters (pool and cache stats included); benchmarks
+  /// call this between phases. Cached blocks stay resident — only the
+  /// accounting resets.
   void ResetCounters();
 
  private:
   std::unique_ptr<SessionPool> pool_;
+  std::unique_ptr<BlockCache> block_cache_;
   ContextStats stats_;
   size_t dispatcher_threads_;
   mutable std::mutex dispatcher_mu_;
   /// Declared last: destroyed first, so in-flight dispatcher tasks that
-  /// touch the session pool or the stats finish before those members go.
+  /// touch the session pool, the cache, or the stats finish before
+  /// those members go.
   std::unique_ptr<ThreadPool> dispatcher_;
 };
 

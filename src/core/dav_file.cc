@@ -7,6 +7,7 @@
 
 #include "common/base64.h"
 #include "common/logging.h"
+#include "core/block_cache.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
 #include "core/metalink_engine.h"
@@ -28,6 +29,12 @@ struct VecDispatchState {
   /// acquire-load of `have_full_body`.
   std::string full_body;
   std::atomic<bool> have_full_body{false};
+  /// Block-cache fill target (null = caching off for this dispatch).
+  /// Batch workers insert every fetched wire span, keyed by the
+  /// dispatch's canonical primary URL, with the validators each
+  /// response carried.
+  BlockCache* cache = nullptr;
+  const std::string* cache_key = nullptr;
 };
 
 namespace {
@@ -47,6 +54,17 @@ bool ShouldFailover(const Status& status) {
     default:
       return false;
   }
+}
+
+/// ETag/Last-Modified of a response, as block-cache validation metadata.
+BlockValidator ValidatorFrom(const http::HeaderMap& headers) {
+  BlockValidator v;
+  v.etag = headers.Get("ETag").value_or("");
+  if (std::optional<std::string> lm = headers.Get("Last-Modified")) {
+    Result<int64_t> mtime = http::ParseHttpDate(*lm);
+    if (mtime.ok()) v.mtime_epoch_seconds = *mtime;
+  }
+  return v;
 }
 
 /// Satisfies every wire range of `batch` from a full-entity body (the
@@ -225,13 +243,117 @@ Result<std::vector<std::string>> DavFile::ReadPartialVec(
       });
 }
 
+Status DavFile::RevalidateCached(const Uri& replica,
+                                 const RequestParams& params,
+                                 BlockCache* cache,
+                                 const std::string& cache_key) {
+  DAVIX_ASSIGN_OR_RETURN(
+      HttpClient::Exchange exchange,
+      client_.Execute(replica, http::Method::kHead, params));
+  DAVIX_RETURN_IF_ERROR(HttpStatusToStatus(exchange.response.status_code,
+                                           "HEAD " + replica.ToString()));
+  cache->NoteValidator(cache_key, ValidatorFrom(exchange.response.headers));
+  return Status::OK();
+}
+
 Result<std::vector<std::string>> DavFile::ReadPartialVecAt(
     const Uri& replica, const std::vector<http::ByteRange>& ranges,
     const RequestParams& params) {
   std::vector<std::string> results(ranges.size());
+
+  BlockCache* cache = params.use_block_cache &&
+                              context_->block_cache().enabled()
+                          ? &context_->block_cache()
+                          : nullptr;
+  // Cache entries are keyed by the canonical *primary* URL, not the
+  // replica actually fetched from: fail-over reads of the same resource
+  // share one block set.
+  std::string cache_key = cache ? BlockCache::UrlKey(url_) : std::string();
+  if (cache &&
+      params.cache_revalidation == CacheRevalidatePolicy::kAlways &&
+      cache->HasUrl(cache_key)) {
+    DAVIX_RETURN_IF_ERROR(
+        RevalidateCached(replica, params, cache, cache_key));
+  }
+
+  // Cache carve-out, before any coalescing: the cached prefix and
+  // suffix of each user range are copied straight into its result slot,
+  // and only the missing middle span is forwarded to the wire planner.
+  // Fully cached ranges never reach the network at all.
+  struct NetSpan {
+    size_t range_index;    ///< index into `ranges` / `results`
+    uint64_t dest_offset;  ///< where the fetched bytes land in the slot
+  };
+  std::vector<http::ByteRange> net_ranges;
+  std::vector<NetSpan> net_spans;
+  bool cache_served = false;  // any byte of `results` came from the cache
+  bool carved = false;        // some range was trimmed (dest offsets != 0)
+  // Snapshot of the cache's purge epoch, taken before any cached byte
+  // is served: compared after the network fill to catch a generation
+  // turnover — whether triggered by this dispatch's own fills or by a
+  // concurrent dispatch / Open on the same Context.
+  uint64_t purge_epoch = cache ? cache->PurgeEpoch() : 0;
+  if (cache) {
+    net_ranges.reserve(ranges.size());
+    net_spans.reserve(ranges.size());
+    // One registry probe up front: a URL with nothing resident (the
+    // cold case) skips the per-range lookups — and their 2N lock
+    // round trips — entirely. The skipped lookups still count as
+    // misses so hit/miss accounting reflects reads that hit the wire.
+    bool may_be_cached = cache->HasUrl(cache_key);
+    uint64_t skipped_lookups = 0;
+    for (size_t i = 0; i < ranges.size(); ++i) {
+      const http::ByteRange& r = ranges[i];
+      results[i].resize(r.length);
+      if (r.length == 0) {
+        // Placeholder keeps net indices aligned with user indices, so
+        // empty ranges do not knock the dispatch off the direct
+        // zero-copy scatter path. CoalesceRanges skips them.
+        net_ranges.push_back(http::ByteRange{r.offset, 0});
+        net_spans.push_back({i, 0});
+        continue;
+      }
+      if (!may_be_cached) {
+        ++skipped_lookups;
+        net_ranges.push_back(r);
+        net_spans.push_back({i, 0});
+        continue;
+      }
+      uint64_t prefix =
+          cache->ReadPrefix(cache_key, r.offset, r.length, results[i].data());
+      if (prefix == r.length) {
+        cache_served = true;
+        continue;  // fully cache-served
+      }
+      uint64_t suffix = cache->ReadSuffix(cache_key, r.offset + prefix,
+                                          r.length - prefix,
+                                          results[i].data() + prefix);
+      if (prefix > 0 || suffix > 0) cache_served = carved = true;
+      net_ranges.push_back(
+          http::ByteRange{r.offset + prefix, r.length - prefix - suffix});
+      net_spans.push_back({i, prefix});
+    }
+    cache->RecordMisses(skipped_lookups);
+    bool all_empty_or_served = true;
+    for (const http::ByteRange& r : net_ranges) {
+      if (r.length != 0) {
+        all_empty_or_served = false;
+        break;
+      }
+    }
+    if (all_empty_or_served) return results;  // warm: zero wire traffic
+  }
+  const std::vector<http::ByteRange>& wire_view = cache ? net_ranges : ranges;
+
   std::vector<CoalescedRange> coalesced =
-      CoalesceRanges(ranges, params.vector_gap_bytes);
-  if (coalesced.empty()) return results;  // all ranges empty
+      CoalesceRanges(wire_view, params.vector_gap_bytes);
+  if (coalesced.empty()) {
+    // All (remaining) ranges empty; size untouched slots like preadv.
+    for (size_t i = 0; i < ranges.size(); ++i) {
+      results[i].resize(ranges[i].length);
+    }
+    return results;
+  }
   std::vector<std::vector<CoalescedRange>> batches =
       SplitBatches(std::move(coalesced), params.max_ranges_per_request);
 
@@ -239,9 +361,26 @@ Result<std::vector<std::string>> DavFile::ReadPartialVecAt(
   // batch workers write payload bytes straight into them — no allocation
   // inside the dispatch, and no two workers share a slot (each user
   // range lives in exactly one wire range, each wire range in exactly
-  // one batch).
-  for (size_t i = 0; i < ranges.size(); ++i) {
-    results[i].resize(ranges[i].length);
+  // one batch). Only when the cache actually trimmed or dropped ranges
+  // (net indices no longer line up with user indices) do workers
+  // scatter into per-net-span slots that are folded back into the user
+  // slots afterwards — a cold read on a cache-enabled Context keeps
+  // the direct zero-copy path.
+  bool direct_scatter =
+      cache == nullptr || (!carved && net_ranges.size() == ranges.size());
+  std::vector<std::string> net_results;
+  std::vector<std::string>* scatter_slots;
+  if (direct_scatter) {
+    for (size_t i = 0; i < ranges.size(); ++i) {
+      results[i].resize(ranges[i].length);
+    }
+    scatter_slots = &results;
+  } else {
+    net_results.resize(net_ranges.size());
+    for (size_t j = 0; j < net_ranges.size(); ++j) {
+      net_results[j].resize(net_ranges[j].length);
+    }
+    scatter_slots = &net_results;
   }
 
   size_t parallelism = params.max_parallel_range_requests;
@@ -257,10 +396,12 @@ Result<std::vector<std::string>> DavFile::ReadPartialVecAt(
       batches.size() > 1 && parallelism > 1 ? &context_->dispatcher() : nullptr;
 
   VecDispatchState state;
+  state.cache = cache;
+  state.cache_key = &cache_key;
   ParallelForCancellable(
       dispatcher, batches.size(), parallelism, [&](size_t batch_index) {
         Status status = FetchVecBatch(replica, batches[batch_index], params,
-                                      ranges, &state, &results);
+                                      wire_view, &state, scatter_slots);
         if (!status.ok()) {
           std::lock_guard<std::mutex> lock(state.mu);
           if (state.first_error.ok()) state.first_error = std::move(status);
@@ -270,8 +411,32 @@ Result<std::vector<std::string>> DavFile::ReadPartialVecAt(
         return true;
       });
 
-  std::lock_guard<std::mutex> lock(state.mu);
-  if (!state.first_error.ok()) return state.first_error;
+  {
+    std::lock_guard<std::mutex> lock(state.mu);
+    if (!state.first_error.ok()) return state.first_error;
+  }
+  if (cache && cache_served && cache->PurgeEpoch() != purge_epoch) {
+    // A generation turnover happened while part of this read was
+    // already served from the cache — detected by this dispatch's own
+    // fill, or caused by a concurrent dispatch/Open purging the URL:
+    // the assembled buffer could mix two generations into bytes that
+    // never existed remotely. Refetch everything coherently with the
+    // cache bypassed — same single-pass semantics a cache-less
+    // dispatch has.
+    DAVIX_LOG(kDebug) << "cache generation changed mid-read of "
+                      << url_.ToString() << "; refetching without cache";
+    RequestParams bypass = params;
+    bypass.use_block_cache = false;
+    return ReadPartialVecAt(replica, ranges, bypass);
+  }
+  if (!direct_scatter) {
+    for (size_t j = 0; j < net_ranges.size(); ++j) {
+      const NetSpan& span = net_spans[j];
+      results[span.range_index].replace(span.dest_offset,
+                                        net_results[j].size(),
+                                        net_results[j]);
+    }
+  }
   return results;
 }
 
@@ -311,12 +476,21 @@ Status DavFile::FetchVecBatch(const Uri& replica,
     // Server ignored the Range header: it sent the whole entity. Move
     // the body into the shared state (no copy) so every remaining batch
     // is satisfied locally.
+    bool stored = false;
     {
       std::lock_guard<std::mutex> lock(state->mu);
       if (!state->have_full_body.load(std::memory_order_relaxed)) {
         state->full_body = std::move(response.body);
         state->have_full_body.store(true, std::memory_order_release);
+        stored = true;
       }
+    }
+    if (stored && state->cache != nullptr) {
+      // The whole object is in hand: cache every block of it, final
+      // short block included.
+      state->cache->Insert(*state->cache_key,
+                           ValidatorFrom(response.headers), 0,
+                           state->full_body, state->full_body.size());
     }
     return ScatterFromFullBody(batch, state->full_body, ranges, results);
   }
@@ -362,6 +536,14 @@ Status DavFile::FetchVecBatch(const Uri& replica,
       }
       DAVIX_RETURN_IF_ERROR(
           ScatterWireRange(wire, match->data, ranges, results));
+      if (state->cache != nullptr) {
+        // Wire ranges include coalesced gap bytes, so whole blocks the
+        // user never asked for still become cache lines.
+        state->cache->Insert(*state->cache_key,
+                             ValidatorFrom(response.headers),
+                             match->range.offset, match->data,
+                             match->total_size);
+      }
     }
     return Status::OK();
   }
@@ -377,6 +559,10 @@ Status DavFile::FetchVecBatch(const Uri& replica,
                          http::ParseContentRange(*content_range));
   if (response.body.size() != cr.range.length) {
     return Status::ProtocolError("206 body size != Content-Range length");
+  }
+  if (state->cache != nullptr) {
+    state->cache->Insert(*state->cache_key, ValidatorFrom(response.headers),
+                         cr.range.offset, response.body, cr.total_size);
   }
   for (const CoalescedRange& wire : batch) {
     if (wire.range.offset < cr.range.offset ||

@@ -74,6 +74,15 @@ class DavFile {
   /// into HTTP multi-range queries, executed as few wire round trips,
   /// and scattered back; results[i] holds the bytes of ranges[i].
   ///
+  /// When the Context has a block cache (and
+  /// RequestParams::use_block_cache is left on), cache-satisfied spans
+  /// are carved out of each range *before* coalescing — the cached
+  /// prefix/suffix of a range is copied from memory and only the
+  /// missing middle goes on the wire; fully cached calls touch the
+  /// network not at all. Every fetched wire span (coalesced gap bytes
+  /// included) is published back into the cache with the validators its
+  /// response carried.
+  ///
   /// When coalescing yields more than one batch, the batches are
   /// dispatched concurrently — each drawing its own pooled session —
   /// bounded by RequestParams::max_parallel_range_requests, with
@@ -99,6 +108,11 @@ class DavFile {
   Result<std::vector<std::string>> ReadPartialVecAt(
       const Uri& replica, const std::vector<http::ByteRange>& ranges,
       const RequestParams& params);
+
+  /// CacheRevalidatePolicy::kAlways helper: HEADs `replica` and feeds
+  /// the observed validators to the cache, dropping stale blocks.
+  Status RevalidateCached(const Uri& replica, const RequestParams& params,
+                          BlockCache* cache, const std::string& cache_key);
 
   /// Fetches one coalesced batch and scatters its payload into the
   /// preallocated `results` slots. Runs concurrently with its sibling

@@ -12,6 +12,17 @@ Result<int> DavPosix::Open(const std::string& url,
                            const RequestParams& params) {
   DAVIX_ASSIGN_OR_RETURN(DavFile file, DavFile::Make(context_, url));
   DAVIX_ASSIGN_OR_RETURN(FileInfo info, file.Stat(params));
+  if (params.use_block_cache && context_->block_cache().enabled() &&
+      params.cache_revalidation != CacheRevalidatePolicy::kNever) {
+    // The existence Stat doubles as cache revalidation (kOnOpen, and
+    // the first checkpoint of kAlways): blocks cached from an older
+    // generation of the object are dropped before the first read.
+    BlockValidator validator;
+    validator.etag = info.etag;
+    validator.mtime_epoch_seconds = info.mtime_epoch_seconds;
+    context_->block_cache().NoteValidator(
+        BlockCache::UrlKey(file.url()), validator);
+  }
   auto open_file = std::make_shared<OpenFile>();
   open_file->file = std::make_shared<DavFile>(std::move(file));
   open_file->params = params;
@@ -91,6 +102,21 @@ Result<std::string> DavPosix::ReadWindowed(OpenFile* file, uint64_t want) {
     // DavPosix destruction) while chunks are in flight stays safe.
     std::shared_ptr<DavFile> dav = file->file;
     RequestParams params = file->params;
+    if (params.use_block_cache && context_->block_cache().enabled() &&
+        params.cache_revalidation != CacheRevalidatePolicy::kAlways) {
+      // Warm chunks come straight from the block cache instead of
+      // being scheduled as range-GETs; cold chunks are published into
+      // it by the fetch's ReadPartial, so the next pass over the file
+      // streams from memory. kAlways keeps the probe off: its contract
+      // is a HEAD before any cache-served read, and only the fetch
+      // path (ReadPartialVecAt) performs that revalidation.
+      BlockCache* cache = &context_->block_cache();
+      std::string key = BlockCache::UrlKey(dav->url());
+      config.probe = [cache, key](uint64_t offset, uint64_t length,
+                                  std::string* out) {
+        return cache->TryReadFull(key, offset, length, out);
+      };
+    }
     file->stream = std::make_unique<ReadAheadStream>(
         [dav, params](uint64_t offset, uint64_t length) {
           return dav->ReadPartial(offset, length, params);

@@ -20,7 +20,18 @@ namespace core {
 ///
 /// Descriptors are plain ints handed out by Open. All calls are
 /// thread-safe; concurrent PRead calls on the same descriptor proceed in
-/// parallel, each drawing its own pooled connection (§2.2 dispatch).
+/// parallel, each drawing its own pooled connection (§2.2 dispatch),
+/// while cursor-moving calls (Read/LSeek) serialize per descriptor.
+///
+/// Ownership: holds a raw pointer to the Context (which must outlive
+/// it) and shares ownership of each open file with any in-flight
+/// read-ahead fetches, so Close — and even DavPosix destruction — is
+/// safe while chunks are on the wire.
+///
+/// Caching: every read path consults and fills the Context's block
+/// cache when one is configured (see RequestParams::use_block_cache
+/// and cache_revalidation; Open's Stat doubles as revalidation under
+/// the default kOnOpen policy).
 class DavPosix {
  public:
   /// `context` must outlive this object.

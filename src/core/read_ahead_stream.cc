@@ -32,6 +32,19 @@ void ReadAheadStream::TopUp() {
     chunk.state = std::make_shared<ChunkState>();
     window_end_ += chunk.length;
 
+    if (config_.probe) {
+      // Cache probe: a locally-satisfiable chunk completes on the spot —
+      // no dispatcher task, no range-GET on the wire.
+      std::string cached;
+      if (config_.probe(chunk.offset, chunk.length, &cached)) {
+        chunk.state->claimed.store(true, std::memory_order_release);
+        chunk.state->done = true;
+        chunk.state->data = std::move(cached);
+        window_.push_back(std::move(chunk));
+        continue;
+      }
+    }
+
     auto state = chunk.state;
     auto fetch = fetch_;
     uint64_t offset = chunk.offset;

@@ -25,6 +25,15 @@ namespace core {
 using ReadAheadFetchFn =
     std::function<Result<std::string>(uint64_t offset, uint64_t length)>;
 
+/// Synchronous local probe tried before a chunk fetch is scheduled on
+/// the dispatcher: returns true and fills `*out` with exactly `length`
+/// bytes when the span can be served without the network (the block
+/// cache), false to fall through to the asynchronous fetch. Called on
+/// the consumer thread with no stream lock held; must be cheap and must
+/// never touch the network.
+using ReadAheadProbeFn =
+    std::function<bool(uint64_t offset, uint64_t length, std::string* out)>;
+
 /// Shape of the asynchronous sliding window.
 struct ReadAheadStreamConfig {
   /// Bytes fetched per asynchronous range-GET.
@@ -35,6 +44,11 @@ struct ReadAheadStreamConfig {
   size_t window_chunks = 4;
   /// Total object size; reads and the window are clamped to it.
   uint64_t file_size = 0;
+  /// Optional cache probe consulted as the window tops up: a chunk the
+  /// probe satisfies completes immediately — no dispatcher task, no
+  /// range-GET — so warm windows re-read an object with zero wire
+  /// traffic. Unset = every chunk is fetched.
+  ReadAheadProbeFn probe;
 };
 
 /// Asynchronous sliding-window read-ahead for sequential reads — the

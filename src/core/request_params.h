@@ -19,8 +19,35 @@ enum class MetalinkMode {
   kMultiStream,
 };
 
+/// Revalidation policy of the per-Context block cache: when a read path
+/// spends a wire round trip confirming that cached blocks still match
+/// the remote object before serving them.
+enum class CacheRevalidatePolicy {
+  /// Trust cached blocks unconditionally. Fills still invalidate on
+  /// validator mismatch, so the cache converges on the newest observed
+  /// generation — it just never pays a round trip purely to check.
+  kNever,
+  /// Default: DavPosix::Open's existence Stat doubles as a revalidation
+  /// — its ETag/Last-Modified are pushed into the cache, dropping stale
+  /// blocks before the descriptor's first read. Costs nothing (the Stat
+  /// happens anyway); reads through a long-lived descriptor do not
+  /// revalidate again.
+  kOnOpen,
+  /// Every vectored/partial read that could be served from the cache
+  /// first issues a HEAD and invalidates on mismatch. Strongest
+  /// freshness, one extra round trip per read that has cached blocks.
+  kAlways,
+};
+
 /// Per-request tuning knobs, in the spirit of davix's RequestParams.
 /// Everything has a sensible default; benchmarks override selectively.
+///
+/// Ownership / thread-safety: a plain value object, copied freely into
+/// requests and background fetch closures. Not synchronised — share by
+/// copy, not by reference, when handing to concurrent operations.
+/// Knob conventions: `0` on a size/count knob means "auto" where an
+/// adaptive default exists (see the field comments) and "disabled" on
+/// feature gates such as `readahead_bytes`.
 struct RequestParams {
   // --- timeouts & robustness -------------------------------------------
   /// TCP connect timeout.
@@ -67,6 +94,20 @@ struct RequestParams {
   uint64_t multistream_chunk_bytes = 1 << 20;
   /// Multi-stream: parallel streams ceiling.
   size_t multistream_max_streams = 4;
+
+  // --- block cache -------------------------------------------------------
+  /// Consult and fill the per-Context block cache (when the Context was
+  /// built with a non-zero cache capacity). Disabling bypasses the cache
+  /// for this request only: nothing is served from it and nothing is
+  /// inserted, so the wire behaviour is bit-identical to a cache-less
+  /// Context.
+  bool use_block_cache = true;
+  /// When to spend a round trip double-checking that cached blocks still
+  /// describe the live object (see CacheRevalidatePolicy). Independent
+  /// of this policy, every network fill compares the response's
+  /// ETag/Last-Modified against the cached generation and drops stale
+  /// blocks on mismatch.
+  CacheRevalidatePolicy cache_revalidation = CacheRevalidatePolicy::kOnOpen;
 
   // --- authentication ----------------------------------------------------
   /// HTTP Basic credentials sent with every request when `username` is

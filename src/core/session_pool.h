@@ -56,9 +56,13 @@ class Session {
   int64_t last_used_micros_ = 0;
 };
 
-/// Pool behaviour knobs.
+/// Pool behaviour knobs. Fixed at Context construction; a copy is
+/// readable through SessionPool::config().
 struct SessionPoolConfig {
-  /// Idle sessions kept per host:port bucket.
+  /// Idle sessions kept per host:port bucket. Also the auto bound of
+  /// RequestParams::max_parallel_range_requests == 0: the vectored
+  /// dispatcher bursts at most this many connections at one host, so
+  /// the whole burst can be parked and recycled afterwards.
   size_t max_idle_per_host = 32;
   /// Idle sessions older than this are dropped at acquire time.
   int64_t max_idle_age_micros = 30'000'000;
@@ -91,6 +95,12 @@ struct SessionPoolStats {
 /// healthy keep-alive session back; Discard destroys a broken one. The
 /// pool grows with the level of concurrency — the paper's §2.2 notes this
 /// is the designed trade-off versus SPDY-style multiplexing.
+///
+/// Ownership: owned by the Context; sessions move out by unique_ptr on
+/// Acquire and back in on Release, so exactly one owner exists at any
+/// time. Thread-safety: fully thread-safe (one internal mutex; no call
+/// blocks on the network while holding it — fresh connects happen
+/// outside the lock).
 class SessionPool {
  public:
   explicit SessionPool(SessionPoolConfig config = {});

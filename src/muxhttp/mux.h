@@ -46,12 +46,14 @@ std::string SerializeMuxFrame(uint32_t stream_id, std::string_view payload);
 Result<std::pair<uint32_t, std::string>> ReadMuxFrame(
     net::BufferedReader* reader);
 
+/// Listener knobs of the multiplexed server; port 0 = ephemeral.
 struct MuxServerConfig {
   uint16_t port = 0;
   netsim::LinkProfile link = netsim::LinkProfile::Loopback();
   int64_t idle_timeout_micros = 30'000'000;
 };
 
+/// Monotonic server-side counters (thread-safe).
 struct MuxServerStats {
   std::atomic<uint64_t> connections_accepted{0};
   std::atomic<uint64_t> requests_handled{0};

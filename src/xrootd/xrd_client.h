@@ -20,6 +20,7 @@
 namespace davix {
 namespace xrootd {
 
+/// Transport timeouts of the xrootd-like client.
 struct XrdClientConfig {
   int64_t connect_timeout_micros = 15'000'000;
   int64_t operation_timeout_micros = 120'000'000;

@@ -32,6 +32,7 @@ struct XrdServerConfig {
   int64_t login_rtts = 2;
 };
 
+/// Monotonic server-side counters (thread-safe).
 struct XrdServerStats {
   std::atomic<uint64_t> connections_accepted{0};
   std::atomic<uint64_t> requests_handled{0};
