@@ -1,8 +1,10 @@
 // M2: microbenchmarks of the block codecs and digests used by the
-// tree-file substrate and Metalink verification. google-benchmark based.
+// tree-file substrate and Metalink verification. google-benchmark based,
+// with the repo-wide --smoke/--json contract via micro_bench_util.h.
 
 #include <benchmark/benchmark.h>
 
+#include "bench/micro_bench_util.h"
 #include "common/checksum.h"
 #include "common/rng.h"
 #include "compress/codec.h"
@@ -93,4 +95,6 @@ BENCHMARK(BM_BuildTreeBasket);
 }  // namespace
 }  // namespace davix
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return davix::bench::RunMicroBench(argc, argv, "micro_compress");
+}

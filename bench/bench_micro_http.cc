@@ -1,8 +1,10 @@
 // M1: microbenchmarks of the HTTP wire layer — the per-request CPU costs
-// that davix's session recycling amortises. google-benchmark based.
+// that davix's session recycling amortises. google-benchmark based, with
+// the repo-wide --smoke/--json contract via micro_bench_util.h.
 
 #include <benchmark/benchmark.h>
 
+#include "bench/micro_bench_util.h"
 #include "common/rng.h"
 #include "common/uri.h"
 #include "http/header_map.h"
@@ -125,4 +127,6 @@ BENCHMARK(BM_MultipartParse)->Arg(8)->Arg(64);
 }  // namespace
 }  // namespace davix
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return davix::bench::RunMicroBench(argc, argv, "micro_http");
+}

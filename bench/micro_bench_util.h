@@ -1,0 +1,94 @@
+#ifndef DAVIX_BENCH_MICRO_BENCH_UTIL_H_
+#define DAVIX_BENCH_MICRO_BENCH_UTIL_H_
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+namespace davix {
+namespace bench {
+
+/// google-benchmark reporter that renders the usual console table and
+/// mirrors every per-iteration run into the repository's BENCH_*.json
+/// schema (one row per benchmark: name, iterations, per-iteration real
+/// and cpu time in the benchmark's time unit, plus every user counter —
+/// bytes/items per second included).
+class MicroJsonReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit MicroJsonReporter(std::string bench_name)
+      : json_(std::move(bench_name)) {}
+
+  void ReportRuns(const std::vector<Run>& reports) override {
+    benchmark::ConsoleReporter::ReportRuns(reports);
+    for (const Run& run : reports) {
+      if (run.run_type != Run::RT_Iteration) continue;
+      JsonReporter::Row& row =
+          json_.AddRow()
+              .Str("name", run.benchmark_name())
+              .Int("iterations", static_cast<uint64_t>(run.iterations))
+              .Num("real_time_per_iter", run.GetAdjustedRealTime())
+              .Num("cpu_time_per_iter", run.GetAdjustedCPUTime());
+      for (const auto& [counter_name, counter] : run.counters) {
+        row.Num(counter_name, counter.value);
+      }
+    }
+  }
+
+  bool WriteTo(const std::string& path) const { return json_.WriteTo(path); }
+
+ private:
+  JsonReporter json_;
+};
+
+/// Shared main() of the bench_micro_* binaries: understands the
+/// repo-wide `--smoke` / `--json <path>` contract (see bench_util.h) in
+/// front of the standard google-benchmark flags, which pass through
+/// untouched. `--smoke` caps the per-benchmark measuring time at 10 ms
+/// for a CI-sized sanity run; `--json` writes the BENCH_*.json document
+/// next to google-benchmark's own console output.
+inline int RunMicroBench(int argc, char** argv, const std::string& name) {
+  bool smoke = false;
+  std::string json_path;
+  std::vector<char*> forwarded;
+  forwarded.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      forwarded.push_back(argv[i]);
+    }
+  }
+  // Plain-number seconds parse on every google-benchmark release this
+  // builds against (newer ones prefer a "s" suffix but keep accepting
+  // this spelling).
+  std::string min_time = "--benchmark_min_time=0.01";
+  if (smoke) forwarded.push_back(min_time.data());
+
+  int forwarded_argc = static_cast<int>(forwarded.size());
+  benchmark::Initialize(&forwarded_argc, forwarded.data());
+  if (benchmark::ReportUnrecognizedArguments(forwarded_argc,
+                                             forwarded.data())) {
+    return 1;
+  }
+  MicroJsonReporter reporter(name);
+  size_t ran = benchmark::RunSpecifiedBenchmarks(&reporter);
+  if (ran == 0) {
+    std::fprintf(stderr, "error: no benchmarks matched\n");
+    return 1;
+  }
+  if (!reporter.WriteTo(json_path)) return 1;
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace bench
+}  // namespace davix
+
+#endif  // DAVIX_BENCH_MICRO_BENCH_UTIL_H_

@@ -53,12 +53,14 @@ std::string SampleStats::Summary(const std::string& unit) const {
 }
 
 std::string IoCounters::ToString() const {
-  char buf[448];
+  char buf[640];
   std::snprintf(
       buf, sizeof(buf),
       "requests=%llu rtts=%llu bytes_read=%llu bytes_written=%llu "
       "conn_opened=%llu conn_reused=%llu redirects=%llu retries=%llu "
-      "failovers=%llu vector_queries=%llu ranges=%llu cache_hits=%llu "
+      "failovers=%llu quarantines=%llu validator_rejects=%llu "
+      "multisource_chunks=%llu multisource_cache_chunks=%llu "
+      "vector_queries=%llu ranges=%llu cache_hits=%llu "
       "cache_misses=%llu cache_evictions=%llu cache_bytes_saved=%llu",
       static_cast<unsigned long long>(requests),
       static_cast<unsigned long long>(network_round_trips),
@@ -69,6 +71,10 @@ std::string IoCounters::ToString() const {
       static_cast<unsigned long long>(redirects_followed),
       static_cast<unsigned long long>(retries),
       static_cast<unsigned long long>(replica_failovers),
+      static_cast<unsigned long long>(replica_quarantines),
+      static_cast<unsigned long long>(replica_validator_rejects),
+      static_cast<unsigned long long>(multisource_chunks),
+      static_cast<unsigned long long>(multisource_cache_chunks),
       static_cast<unsigned long long>(vector_queries),
       static_cast<unsigned long long>(ranges_requested),
       static_cast<unsigned long long>(cache_hits),

@@ -44,6 +44,10 @@ struct IoCounters {
   uint64_t redirects_followed = 0;
   uint64_t retries = 0;
   uint64_t replica_failovers = 0;
+  uint64_t replica_quarantines = 0;///< replicas quarantined (health/generation)
+  uint64_t replica_validator_rejects = 0; ///< responses dropped: wrong generation
+  uint64_t multisource_chunks = 0; ///< striped chunk range-GETs put on the wire
+  uint64_t multisource_cache_chunks = 0;  ///< striped chunks served by the cache
   uint64_t vector_queries = 0;     ///< multi-range queries issued
   uint64_t ranges_requested = 0;   ///< individual ranges inside them
   uint64_t cache_hits = 0;         ///< block-cache lookups that served bytes

@@ -220,6 +220,20 @@ bool BlockCache::HasUrl(const std::string& url_key) const {
          url->block_count.load(std::memory_order_relaxed) > 0;
 }
 
+std::optional<BlockValidator> BlockCache::UrlValidator(
+    const std::string& url_key) const {
+  if (!enabled()) return std::nullopt;
+  // Read under the registry lock: NoteValidator mutates the validator
+  // in place there, and the block_count gate mirrors HasUrl.
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  auto it = registry_.find(url_key);
+  if (it == registry_.end() ||
+      it->second->block_count.load(std::memory_order_relaxed) == 0) {
+    return std::nullopt;
+  }
+  return it->second->validator;
+}
+
 void BlockCache::RecordMisses(uint64_t lookups) {
   if (enabled() && lookups > 0) {
     misses_.fetch_add(lookups, std::memory_order_relaxed);

@@ -8,6 +8,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -153,6 +154,15 @@ class BlockCache {
   /// True when any block of `url_key` is resident (used to skip
   /// revalidation HEADs that could not possibly save anything).
   bool HasUrl(const std::string& url_key) const;
+
+  /// Validators currently recorded for `url_key` while any of its
+  /// blocks is resident; nullopt otherwise. Multi-source readers
+  /// (core::ReplicaSet) compare this against their agreed generation
+  /// before delivering a cache-probe hit, so a cache refilled by a
+  /// concurrent reader observing a newer object can never leak
+  /// mixed-generation bytes into an in-flight stream.
+  std::optional<BlockValidator> UrlValidator(
+      const std::string& url_key) const;
 
   /// Accounts `lookups` misses without performing them. Read paths
   /// that skip per-range lookups after a negative HasUrl probe call

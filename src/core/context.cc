@@ -41,6 +41,14 @@ IoCounters Context::SnapshotCounters() const {
   out.retries = stats_.retries.load(std::memory_order_relaxed);
   out.replica_failovers =
       stats_.replica_failovers.load(std::memory_order_relaxed);
+  out.replica_quarantines =
+      stats_.replica_quarantines.load(std::memory_order_relaxed);
+  out.replica_validator_rejects =
+      stats_.replica_validator_rejects.load(std::memory_order_relaxed);
+  out.multisource_chunks =
+      stats_.multisource_chunks.load(std::memory_order_relaxed);
+  out.multisource_cache_chunks =
+      stats_.multisource_cache_chunks.load(std::memory_order_relaxed);
   out.vector_queries = stats_.vector_queries.load(std::memory_order_relaxed);
   out.ranges_requested =
       stats_.ranges_requested.load(std::memory_order_relaxed);
@@ -64,6 +72,10 @@ void Context::ResetCounters() {
   stats_.redirects_followed.store(0, std::memory_order_relaxed);
   stats_.retries.store(0, std::memory_order_relaxed);
   stats_.replica_failovers.store(0, std::memory_order_relaxed);
+  stats_.replica_quarantines.store(0, std::memory_order_relaxed);
+  stats_.replica_validator_rejects.store(0, std::memory_order_relaxed);
+  stats_.multisource_chunks.store(0, std::memory_order_relaxed);
+  stats_.multisource_cache_chunks.store(0, std::memory_order_relaxed);
   stats_.vector_queries.store(0, std::memory_order_relaxed);
   stats_.ranges_requested.store(0, std::memory_order_relaxed);
   pool_->stats().connects.store(0, std::memory_order_relaxed);

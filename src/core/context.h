@@ -24,6 +24,10 @@ struct ContextStats {
   std::atomic<uint64_t> redirects_followed{0};
   std::atomic<uint64_t> retries{0};
   std::atomic<uint64_t> replica_failovers{0};
+  std::atomic<uint64_t> replica_quarantines{0};
+  std::atomic<uint64_t> replica_validator_rejects{0};
+  std::atomic<uint64_t> multisource_chunks{0};
+  std::atomic<uint64_t> multisource_cache_chunks{0};
   std::atomic<uint64_t> vector_queries{0};
   std::atomic<uint64_t> ranges_requested{0};
 };

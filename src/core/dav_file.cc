@@ -6,11 +6,13 @@
 #include <unordered_map>
 
 #include "common/base64.h"
+#include "common/clock.h"
 #include "common/logging.h"
 #include "core/block_cache.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
 #include "core/metalink_engine.h"
+#include "core/replica_set.h"
 #include "core/vector_io.h"
 #include "http/multipart.h"
 #include "http/parser.h"
@@ -35,37 +37,15 @@ struct VecDispatchState {
   /// response carried.
   BlockCache* cache = nullptr;
   const std::string* cache_key = nullptr;
+  /// Resolved replica set of the dispatch (null = single-source). Every
+  /// response's validators are admitted against the set's agreed
+  /// generation before scatter/cache-fill; spans are published under
+  /// the agreed validator so fail-over and striping share one cache
+  /// generation.
+  ReplicaSet* replica_set = nullptr;
 };
 
 namespace {
-
-/// Failures that justify looking for another replica (§2.4): anything
-/// suggesting *this* endpoint is unavailable, including 404 (in a
-/// federated namespace the resource may simply live elsewhere).
-bool ShouldFailover(const Status& status) {
-  switch (status.code()) {
-    case StatusCode::kConnectionFailed:
-    case StatusCode::kConnectionReset:
-    case StatusCode::kTimeout:
-    case StatusCode::kRemoteError:
-    case StatusCode::kNotFound:
-    case StatusCode::kProtocolError:
-      return true;
-    default:
-      return false;
-  }
-}
-
-/// ETag/Last-Modified of a response, as block-cache validation metadata.
-BlockValidator ValidatorFrom(const http::HeaderMap& headers) {
-  BlockValidator v;
-  v.etag = headers.Get("ETag").value_or("");
-  if (std::optional<std::string> lm = headers.Get("Last-Modified")) {
-    Result<int64_t> mtime = http::ParseHttpDate(*lm);
-    if (mtime.ok()) v.mtime_epoch_seconds = *mtime;
-  }
-  return v;
-}
 
 /// Satisfies every wire range of `batch` from a full-entity body (the
 /// 200-fallback: once the server has sent everything, all remaining
@@ -99,6 +79,39 @@ template <typename T>
 Result<T> DavFile::WithFailover(
     const RequestParams& params,
     const std::function<Result<T>(const Uri&)>& op) {
+  if (replica_set_ != nullptr &&
+      params.metalink_mode != MetalinkMode::kDisabled) {
+    // Resolved-set fast path: walk the health-ranked sources directly —
+    // no Metalink refetch on failure — and feed every outcome back into
+    // the health state, so repeatedly failing sources sink in rank and
+    // quarantine out of the rotation.
+    Status last =
+        Status::AllReplicasFailed("replica set has no usable source");
+    bool first = true;
+    for (const std::shared_ptr<ReplicaSource>& source :
+         replica_set_->RankedSources()) {
+      if (!first) {
+        context_->stats().replica_failovers.fetch_add(
+            1, std::memory_order_relaxed);
+        DAVIX_LOG(kDebug) << "failing over to replica "
+                          << source->url().ToString();
+      }
+      first = false;
+      int64_t start = MonotonicMicros();
+      Result<T> attempt = op(source->url());
+      if (attempt.ok()) {
+        replica_set_->RecordSuccess(source, MonotonicMicros() - start);
+        return attempt;
+      }
+      replica_set_->RecordFailure(source);
+      if (!ShouldFailover(attempt.status())) return attempt;
+      last = attempt.status();
+    }
+    return Status::AllReplicasFailed("all replicas of " + url_.ToString() +
+                                     " failed; last error: " +
+                                     last.ToString());
+  }
+
   Result<T> primary = op(url_);
   if (primary.ok() || params.metalink_mode == MetalinkMode::kDisabled ||
       !ShouldFailover(primary.status())) {
@@ -234,8 +247,26 @@ Result<std::string> DavFile::ReadPartial(uint64_t offset, uint64_t length,
   return std::move(results[0]);
 }
 
+Status DavFile::ResolveReplicaSet(const RequestParams& params) {
+  if (replica_set_ != nullptr) return Status::OK();
+  if (params.metalink_mode == MetalinkMode::kDisabled) {
+    return Status::InvalidArgument("metalink disabled for " +
+                                   url_.ToString());
+  }
+  DAVIX_ASSIGN_OR_RETURN(replica_set_,
+                         ReplicaSet::Resolve(context_, url_, params));
+  return Status::OK();
+}
+
 Result<std::vector<std::string>> DavFile::ReadPartialVec(
     const std::vector<http::ByteRange>& ranges, const RequestParams& params) {
+  if (replica_set_ != nullptr &&
+      params.metalink_mode != MetalinkMode::kDisabled) {
+    // The batch dispatch fails over per batch on the resolved set (and
+    // stripes batches across its sources); a top-level retry here would
+    // only repeat the same walk.
+    return ReadPartialVecAt(url_, ranges, params);
+  }
   return WithFailover<std::vector<std::string>>(
       params,
       [&](const Uri& replica) -> Result<std::vector<std::string>> {
@@ -268,12 +299,23 @@ Result<std::vector<std::string>> DavFile::ReadPartialVecAt(
   // Cache entries are keyed by the canonical *primary* URL, not the
   // replica actually fetched from: fail-over reads of the same resource
   // share one block set.
+  ReplicaSet* set = params.metalink_mode != MetalinkMode::kDisabled
+                        ? replica_set_.get()
+                        : nullptr;
   std::string cache_key = cache ? BlockCache::UrlKey(url_) : std::string();
   if (cache &&
       params.cache_revalidation == CacheRevalidatePolicy::kAlways &&
       cache->HasUrl(cache_key)) {
+    // With a resolved set the revalidation HEAD goes to the best-ranked
+    // source (the primary may be the very replica that is down).
+    Uri revalidate_target = replica;
+    if (set != nullptr) {
+      std::vector<std::shared_ptr<ReplicaSource>> ranked =
+          set->RankedSources();
+      if (!ranked.empty()) revalidate_target = ranked.front()->url();
+    }
     DAVIX_RETURN_IF_ERROR(
-        RevalidateCached(replica, params, cache, cache_key));
+        RevalidateCached(revalidate_target, params, cache, cache_key));
   }
 
   // Cache carve-out, before any coalescing: the cached prefix and
@@ -398,10 +440,17 @@ Result<std::vector<std::string>> DavFile::ReadPartialVecAt(
   VecDispatchState state;
   state.cache = cache;
   state.cache_key = &cache_key;
+  state.replica_set = set;
   ParallelForCancellable(
       dispatcher, batches.size(), parallelism, [&](size_t batch_index) {
-        Status status = FetchVecBatch(replica, batches[batch_index], params,
-                                      wire_view, &state, scatter_slots);
+        Status status =
+            set != nullptr
+                ? FetchVecBatchMultiSource(batch_index, parallelism,
+                                           batches[batch_index], params,
+                                           wire_view, &state, scatter_slots)
+                : FetchVecBatch(replica, batches[batch_index], params,
+                                wire_view, &state, scatter_slots,
+                                /*did_fetch=*/nullptr);
         if (!status.ok()) {
           std::lock_guard<std::mutex> lock(state.mu);
           if (state.first_error.ok()) state.first_error = std::move(status);
@@ -440,12 +489,30 @@ Result<std::vector<std::string>> DavFile::ReadPartialVecAt(
   return results;
 }
 
+Status DavFile::FetchVecBatchMultiSource(
+    size_t batch_index, size_t stripe_width,
+    const std::vector<CoalescedRange>& batch, const RequestParams& params,
+    const std::vector<http::ByteRange>& ranges, VecDispatchState* state,
+    std::vector<std::string>* results) {
+  // TryCandidates owns the failover/health policy; FetchVecBatch flags
+  // `did_fetch` so short-circuited batches (sibling failed, or demoted
+  // to local scatter off a parked full body) feed no bogus ~0 µs
+  // latency into the EWMA of a source that did no work.
+  return state->replica_set->TryCandidates(
+      batch_index, stripe_width,
+      [&](const std::shared_ptr<ReplicaSource>& source, bool* did_fetch) {
+        return FetchVecBatch(source->url(), batch, params, ranges, state,
+                             results, did_fetch);
+      });
+}
+
 Status DavFile::FetchVecBatch(const Uri& replica,
                               const std::vector<CoalescedRange>& batch,
                               const RequestParams& params,
                               const std::vector<http::ByteRange>& ranges,
                               VecDispatchState* state,
-                              std::vector<std::string>* results) {
+                              std::vector<std::string>* results,
+                              bool* did_fetch) {
   // A sibling batch already failed between this batch being claimed and
   // starting: don't put more traffic on the wire.
   if (state->failed.load(std::memory_order_acquire)) return Status::OK();
@@ -466,11 +533,32 @@ Status DavFile::FetchVecBatch(const Uri& replica,
   context_->stats().ranges_requested.fetch_add(wire_ranges.size(),
                                                std::memory_order_relaxed);
 
+  if (did_fetch != nullptr) *did_fetch = true;
   DAVIX_ASSIGN_OR_RETURN(
       HttpClient::Exchange exchange,
       client_.Execute(replica, http::Method::kGet, params, std::string(),
                       &headers));
   http::HttpResponse& response = exchange.response;
+
+  // Generation admission, before any byte is scattered or cached: with
+  // a replica set, a response whose validators disagree with the set's
+  // agreed generation is dropped wholesale (the source is quarantined
+  // by the admission) and the batch is re-dispatched to the next-best
+  // source. Admitted responses publish under the agreed validator, so
+  // fills from different replicas never purge each other.
+  BlockValidator response_validator = ValidatorFrom(response.headers);
+  if (state->replica_set != nullptr &&
+      (response.status_code == 200 || response.status_code == 206)) {
+    std::optional<BlockValidator> admitted =
+        state->replica_set->AdmitUrl(replica, response_validator);
+    if (!admitted) {
+      context_->stats().replica_validator_rejects.fetch_add(
+          1, std::memory_order_relaxed);
+      return Status::Corruption("replica generation mismatch: " +
+                                replica.ToString());
+    }
+    response_validator = *admitted;
+  }
 
   if (response.status_code == 200) {
     // Server ignored the Range header: it sent the whole entity. Move
@@ -488,8 +576,7 @@ Status DavFile::FetchVecBatch(const Uri& replica,
     if (stored && state->cache != nullptr) {
       // The whole object is in hand: cache every block of it, final
       // short block included.
-      state->cache->Insert(*state->cache_key,
-                           ValidatorFrom(response.headers), 0,
+      state->cache->Insert(*state->cache_key, response_validator, 0,
                            state->full_body, state->full_body.size());
     }
     return ScatterFromFullBody(batch, state->full_body, ranges, results);
@@ -539,8 +626,7 @@ Status DavFile::FetchVecBatch(const Uri& replica,
       if (state->cache != nullptr) {
         // Wire ranges include coalesced gap bytes, so whole blocks the
         // user never asked for still become cache lines.
-        state->cache->Insert(*state->cache_key,
-                             ValidatorFrom(response.headers),
+        state->cache->Insert(*state->cache_key, response_validator,
                              match->range.offset, match->data,
                              match->total_size);
       }
@@ -561,7 +647,7 @@ Status DavFile::FetchVecBatch(const Uri& replica,
     return Status::ProtocolError("206 body size != Content-Range length");
   }
   if (state->cache != nullptr) {
-    state->cache->Insert(*state->cache_key, ValidatorFrom(response.headers),
+    state->cache->Insert(*state->cache_key, response_validator,
                          cr.range.offset, response.body, cr.total_size);
   }
   for (const CoalescedRange& wire : batch) {

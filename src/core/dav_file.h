@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -17,6 +18,8 @@ namespace core {
 
 struct CoalescedRange;
 struct VecDispatchState;
+class ReplicaSet;
+class ReplicaSource;
 
 /// Remote file metadata as observable over HTTP/WebDAV.
 struct FileInfo {
@@ -97,6 +100,16 @@ class DavFile {
       const std::vector<http::ByteRange>& ranges,
       const RequestParams& params = {});
 
+  /// Resolves (once) the resource's replica set from its Metalink and
+  /// pins it to this file: every later read fails over — and stripes
+  /// multi-batch vectored dispatches — across the set's health-ranked
+  /// sources without refetching the Metalink. DavPosix::Open calls this
+  /// when RequestParams::metalink_resolver is configured. Idempotent.
+  Status ResolveReplicaSet(const RequestParams& params);
+
+  /// The pinned replica set; null until ResolveReplicaSet succeeds.
+  std::shared_ptr<ReplicaSet> replica_set() const { return replica_set_; }
+
  private:
   /// Runs `op` against the primary URL, then against metalink replicas
   /// on failure (when enabled). Counts failovers in the context stats.
@@ -117,17 +130,35 @@ class DavFile {
   /// Fetches one coalesced batch and scatters its payload into the
   /// preallocated `results` slots. Runs concurrently with its sibling
   /// batches; `state` carries the shared 200-fallback body and error
-  /// flag.
+  /// flag. With a replica set in `state`, the response's validators
+  /// must be admitted against the set's agreed generation before any
+  /// byte is scattered or cached — a mismatch returns kCorruption.
+  /// `*did_fetch` (may be null) is set when the batch actually put a
+  /// request on the wire — false on the failed-short-circuit and
+  /// full-body-demote paths, so health feedback only covers real
+  /// exchanges.
   Status FetchVecBatch(const Uri& replica,
                        const std::vector<CoalescedRange>& batch,
                        const RequestParams& params,
                        const std::vector<http::ByteRange>& ranges,
                        VecDispatchState* state,
-                       std::vector<std::string>* results);
+                       std::vector<std::string>* results, bool* did_fetch);
+
+  /// Replica-set variant of one batch dispatch: walks the
+  /// stripe-rotated, health-ranked candidates for `batch_index`, feeding each
+  /// outcome back into the set, so a batch that fails on one source is
+  /// re-dispatched to the next-best instead of failing the read.
+  Status FetchVecBatchMultiSource(size_t batch_index, size_t stripe_width,
+                                  const std::vector<CoalescedRange>& batch,
+                                  const RequestParams& params,
+                                  const std::vector<http::ByteRange>& ranges,
+                                  VecDispatchState* state,
+                                  std::vector<std::string>* results);
 
   Context* context_;
   HttpClient client_;
   Uri url_;
+  std::shared_ptr<ReplicaSet> replica_set_;
 };
 
 }  // namespace core

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 
+#include "common/logging.h"
 #include "core/http_client.h"
+#include "core/replica_set.h"
 #include "xml/xml.h"
 
 namespace davix {
@@ -11,17 +13,37 @@ namespace core {
 Result<int> DavPosix::Open(const std::string& url,
                            const RequestParams& params) {
   DAVIX_ASSIGN_OR_RETURN(DavFile file, DavFile::Make(context_, url));
+  if (params.metalink_mode != MetalinkMode::kDisabled &&
+      !params.metalink_resolver.empty()) {
+    // Resolve the resource's replica set once, up front: every read
+    // through this descriptor — sequential, windowed, vectored — then
+    // fails over (and stripes) across the set's health-ranked sources
+    // mid-read, without refetching the Metalink. Best effort: a
+    // federation that cannot answer leaves the descriptor single-source
+    // with the legacy resolve-on-failure behaviour.
+    Status resolved = file.ResolveReplicaSet(params);
+    if (!resolved.ok()) {
+      DAVIX_LOG(kDebug) << "no replica set for " << url << ": "
+                        << resolved.ToString();
+    }
+  }
   DAVIX_ASSIGN_OR_RETURN(FileInfo info, file.Stat(params));
+  BlockValidator validator;
+  validator.etag = info.etag;
+  validator.mtime_epoch_seconds = info.mtime_epoch_seconds;
   if (params.use_block_cache && context_->block_cache().enabled() &&
       params.cache_revalidation != CacheRevalidatePolicy::kNever) {
     // The existence Stat doubles as cache revalidation (kOnOpen, and
     // the first checkpoint of kAlways): blocks cached from an older
     // generation of the object are dropped before the first read.
-    BlockValidator validator;
-    validator.etag = info.etag;
-    validator.mtime_epoch_seconds = info.mtime_epoch_seconds;
     context_->block_cache().NoteValidator(
         BlockCache::UrlKey(file.url()), validator);
+  }
+  if (std::shared_ptr<ReplicaSet> set = file.replica_set()) {
+    // The generation Open observed is the generation this descriptor
+    // reads: replicas that later serve a different ETag are quarantined
+    // and their bytes dropped, deterministically anchored here.
+    set->SeedValidator(validator);
   }
   auto open_file = std::make_shared<OpenFile>();
   open_file->file = std::make_shared<DavFile>(std::move(file));

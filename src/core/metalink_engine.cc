@@ -1,12 +1,9 @@
 #include "core/metalink_engine.h"
 
-#include <atomic>
-#include <mutex>
-
 #include "common/checksum.h"
 #include "common/logging.h"
-#include "common/thread_pool.h"
-#include "http/range.h"
+#include "common/string_util.h"
+#include "core/replica_set.h"
 
 namespace davix {
 namespace core {
@@ -65,139 +62,48 @@ Result<std::vector<Uri>> MetalinkEngine::ResolveReplicas(
   return replicas;
 }
 
+Status MetalinkEngine::MultiStreamTo(const Uri& resource,
+                                     const RequestParams& params,
+                                     const ReplicaSpanSink& sink) {
+  DAVIX_ASSIGN_OR_RETURN(
+      std::shared_ptr<ReplicaSet> set,
+      ReplicaSet::Resolve(client_->context(), resource, params));
+  DAVIX_ASSIGN_OR_RETURN(uint64_t size, set->ResolveSize(params));
+
+  // The sink delivers in offset order, so the Metalink md5 verifies
+  // incrementally — no whole-object buffer on this path.
+  bool verify = !set->md5().empty();
+  Md5 md5;
+  DAVIX_RETURN_IF_ERROR(set->Stream(
+      0, size, params, [&](uint64_t offset, std::string_view data) {
+        if (verify) md5.Update(data);
+        return sink(offset, data);
+      }));
+  if (verify) {
+    std::array<uint8_t, 16> digest = md5.Digest();
+    std::string hex = HexEncode(std::string_view(
+        reinterpret_cast<const char*>(digest.data()), digest.size()));
+    if (hex != set->md5()) {
+      return Status::Corruption("multi-stream md5 mismatch for " +
+                                resource.ToString() + ": got " + hex +
+                                " want " + set->md5());
+    }
+  }
+  return Status::OK();
+}
+
 Result<std::string> MetalinkEngine::MultiStreamGet(
     const Uri& resource, const RequestParams& params) {
-  DAVIX_ASSIGN_OR_RETURN(metalink::MetalinkFile file,
-                         Fetch(resource, params));
-  std::vector<Uri> replicas;
-  for (const metalink::Replica& replica : file.SortedReplicas()) {
-    Result<Uri> uri = Uri::Parse(replica.url);
-    if (uri.ok()) replicas.push_back(std::move(*uri));
-  }
-  if (replicas.empty()) {
-    return Status::AllReplicasFailed(
-        "multi-stream: no usable replicas for " + resource.ToString());
-  }
-
-  // Size must be known to plan chunks: prefer the Metalink, fall back to
-  // a HEAD on the first answering replica.
-  uint64_t size = file.size;
-  if (size == 0) {
-    Status last = Status::AllReplicasFailed("no replica answered HEAD");
-    for (const Uri& replica : replicas) {
-      RequestParams head_params = params;
-      head_params.metalink_mode = MetalinkMode::kDisabled;
-      Result<HttpClient::Exchange> exchange = client_->Execute(
-          replica, http::Method::kHead, head_params);
-      if (!exchange.ok()) {
-        last = exchange.status();
-        continue;
-      }
-      Status st = HttpStatusToStatus(exchange->response.status_code, "HEAD");
-      if (!st.ok()) {
-        last = st;
-        continue;
-      }
-      std::optional<uint64_t> length =
-          exchange->response.headers.GetUint64("Content-Length");
-      if (length) {
-        size = *length;
-        break;
-      }
-    }
-    if (size == 0) {
-      return last.WithContext("multi-stream: cannot determine size of " +
-                              resource.ToString());
-    }
-  }
-
-  // Stream plan: one contiguous shard per stream, each stream pinned to
-  // one replica (round-robin). Pinning keeps each stream on a single
-  // warm keep-alive connection — hopping replicas per chunk would pay
-  // the TCP slow-start ramp over and over. Within a shard the stream
-  // fetches chunk-sized ranges sequentially; a failing chunk fails over
-  // to the other replicas.
-  uint64_t chunk_bytes =
-      params.multistream_chunk_bytes == 0 ? (1 << 20)
-                                          : params.multistream_chunk_bytes;
-  size_t streams = std::min(params.multistream_max_streams, replicas.size());
-  if (streams == 0) streams = 1;
-  uint64_t shard_bytes = (size + streams - 1) / streams;
-
-  std::string assembled(size, '\0');
-  std::mutex error_mu;
-  Status first_error = Status::OK();
-
-  ThreadPool* dispatcher =
-      streams > 1 ? &client_->context()->dispatcher() : nullptr;
-  ParallelFor(dispatcher, streams, streams, [&](size_t stream) {
-    uint64_t shard_begin = static_cast<uint64_t>(stream) * shard_bytes;
-    uint64_t shard_end = std::min(size, shard_begin + shard_bytes);
-    RequestParams chunk_params = params;
-    chunk_params.metalink_mode = MetalinkMode::kDisabled;
-
-    for (uint64_t offset = shard_begin; offset < shard_end;
-         offset += chunk_bytes) {
-      uint64_t length = std::min(chunk_bytes, shard_end - offset);
-      http::HeaderMap headers;
-      headers.Set("Range", http::FormatRangeHeader(
-                               {http::ByteRange{offset, length}}));
-      Status last = Status::AllReplicasFailed("no replica tried");
-      bool done = false;
-      for (size_t attempt = 0; attempt < replicas.size() && !done;
-           ++attempt) {
-        const Uri& replica = replicas[(stream + attempt) % replicas.size()];
-        Result<HttpClient::Exchange> exchange =
-            client_->Execute(replica, http::Method::kGet, chunk_params,
-                             std::string(), &headers);
-        if (!exchange.ok()) {
-          last = exchange.status();
-          continue;
+  std::string assembled;
+  DAVIX_RETURN_IF_ERROR(MultiStreamTo(
+      resource, params, [&](uint64_t offset, std::string_view data) {
+        if (offset != assembled.size()) {
+          return Status::Internal("multi-stream sink out of order at " +
+                                  std::to_string(offset));
         }
-        const http::HttpResponse& response = exchange->response;
-        if (response.status_code == 206 && response.body.size() == length) {
-          assembled.replace(offset, length, response.body);
-          done = true;
-          break;
-        }
-        if (response.status_code == 200 && response.body.size() == size) {
-          // Replica ignored the Range header; salvage the chunk.
-          assembled.replace(offset, length, response.body, offset, length);
-          done = true;
-          break;
-        }
-        last = HttpStatusToStatus(response.status_code,
-                                  "multi-stream chunk GET");
-        if (last.ok()) {
-          last = Status::ProtocolError("unexpected partial-content shape");
-        }
-        if (attempt + 1 < replicas.size()) {
-          client_->context()->stats().replica_failovers.fetch_add(
-              1, std::memory_order_relaxed);
-        }
-      }
-      if (!done) {
-        std::lock_guard<std::mutex> lock(error_mu);
-        if (first_error.ok()) {
-          first_error = last.WithContext(
-              "shard " + std::to_string(stream) + " offset " +
-              std::to_string(offset));
-        }
-        return;
-      }
-    }
-  });
-
-  if (!first_error.ok()) return first_error;
-
-  if (!file.md5.empty()) {
-    std::string digest = Md5::HexDigest(assembled);
-    if (digest != file.md5) {
-      return Status::Corruption("multi-stream md5 mismatch for " +
-                                resource.ToString() + ": got " + digest +
-                                " want " + file.md5);
-    }
-  }
+        assembled.append(data);
+        return Status::OK();
+      }));
   return assembled;
 }
 

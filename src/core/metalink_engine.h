@@ -7,6 +7,7 @@
 #include "common/status.h"
 #include "common/uri.h"
 #include "core/http_client.h"
+#include "core/replica_set.h"
 #include "core/request_params.h"
 #include "metalink/metalink.h"
 
@@ -32,10 +33,19 @@ class MetalinkEngine {
   Result<std::vector<Uri>> ResolveReplicas(const Uri& resource,
                                            const RequestParams& params);
 
-  /// §2.4 "multi-stream" strategy: downloads the whole resource by
-  /// fetching chunks in parallel from the replicas round-robin. Chunks
-  /// that fail on one replica fail over to the others. When the Metalink
-  /// carries an md5, the assembled content is verified against it.
+  /// §2.4 "multi-stream" strategy, sink-based: resolves the resource's
+  /// ReplicaSet and streams the whole object through `sink` in offset
+  /// order, striping chunk range-GETs across the healthy replicas on
+  /// the Context's dispatcher — with health-based failover, block-cache
+  /// probe/publish, and generation quarantine (see core::ReplicaSet).
+  /// When the Metalink carries an md5, the stream is verified
+  /// incrementally and a mismatch surfaces as kCorruption after the
+  /// last span.
+  Status MultiStreamTo(const Uri& resource, const RequestParams& params,
+                       const ReplicaSpanSink& sink);
+
+  /// Legacy whole-object form: thin wrapper over MultiStreamTo that
+  /// assembles the spans into one string.
   Result<std::string> MultiStreamGet(const Uri& resource,
                                      const RequestParams& params);
 

@@ -66,7 +66,12 @@ struct ReadAheadStreamConfig {
 /// reaches it (delivery is in order, so that is the earliest-offset
 /// error); the rest of the window is invalidated — in-flight fetches are
 /// abandoned, unstarted ones are cancelled — and the next Read re-seeds
-/// the window at the cursor.
+/// the window at the cursor. A chunk fetch only fails after the fetch
+/// function exhausted its own resilience: when the DavFile carries a
+/// resolved core::ReplicaSet (DavPosix::Open with a metalink resolver),
+/// each chunk transparently re-dispatches to the next-best replica
+/// mid-stream, so a dying source degrades throughput instead of
+/// surfacing an error here.
 ///
 /// Thread model: Read/Invalidate require external synchronisation (the
 /// DavPosix descriptor lock provides it); the internal locking only

@@ -94,6 +94,13 @@ struct RequestParams {
   uint64_t multistream_chunk_bytes = 1 << 20;
   /// Multi-stream: parallel streams ceiling.
   size_t multistream_max_streams = 4;
+  /// Replica health (core::ReplicaSet): consecutive failures before a
+  /// source is quarantined. 0 = default (2).
+  int replica_quarantine_failures = 0;
+  /// Replica health: how long a timed quarantine lasts; a source whose
+  /// ETag disagrees with the set's agreed generation is quarantined for
+  /// the life of the set instead. 0 = default (30 s).
+  int64_t replica_quarantine_micros = 0;
 
   // --- block cache -------------------------------------------------------
   /// Consult and fill the per-Context block cache (when the Context was

@@ -77,6 +77,8 @@ void FederationHandler::Handle(const std::string& prefix,
   }
 
   Result<metalink::MetalinkFile> entry = catalog_->Lookup(logical);
+  (entry.ok() ? catalog_hits_ : catalog_misses_)
+      .fetch_add(1, std::memory_order_relaxed);
   if (!entry.ok()) {
     response->status_code = 404;
     response->headers.Set("Content-Type", "text/plain");

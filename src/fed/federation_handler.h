@@ -48,6 +48,15 @@ class FederationHandler
   uint64_t redirects_served() const {
     return redirects_served_.load(std::memory_order_relaxed);
   }
+  /// Catalogue lookups that found a registered resource.
+  uint64_t catalog_hits() const {
+    return catalog_hits_.load(std::memory_order_relaxed);
+  }
+  /// Catalogue lookups for unknown resources (answered 404) — the
+  /// federation-side view of clients chasing unregistered paths.
+  uint64_t catalog_misses() const {
+    return catalog_misses_.load(std::memory_order_relaxed);
+  }
 
  private:
   void Handle(const std::string& prefix, const http::HttpRequest& request,
@@ -58,6 +67,8 @@ class FederationHandler
   std::shared_ptr<ReplicaCatalog> catalog_;
   std::atomic<uint64_t> metalinks_served_{0};
   std::atomic<uint64_t> redirects_served_{0};
+  std::atomic<uint64_t> catalog_hits_{0};
+  std::atomic<uint64_t> catalog_misses_{0};
 };
 
 }  // namespace fed

@@ -12,6 +12,23 @@ std::string ReplicaCatalog::Normalize(std::string_view path) {
   return out;
 }
 
+namespace {
+
+/// Canonical replica order of the catalogue: priority ascending, URL
+/// breaking ties — so generated Metalinks (and the redirect target
+/// choice) do not depend on registration order.
+void SortReplicas(std::vector<metalink::Replica>* replicas) {
+  std::stable_sort(replicas->begin(), replicas->end(),
+                   [](const metalink::Replica& a, const metalink::Replica& b) {
+                     if (a.priority != b.priority) {
+                       return a.priority < b.priority;
+                     }
+                     return a.url < b.url;
+                   });
+}
+
+}  // namespace
+
 void ReplicaCatalog::AddReplica(std::string_view path, std::string_view url,
                                 int priority) {
   std::string key = Normalize(path);
@@ -21,16 +38,23 @@ void ReplicaCatalog::AddReplica(std::string_view path, std::string_view url,
     size_t slash = key.rfind('/');
     entry.name = key.substr(slash + 1);
   }
+  bool updated = false;
   for (metalink::Replica& replica : entry.replicas) {
     if (replica.url == url) {
       replica.priority = priority;
-      return;
+      updated = true;
+      break;
     }
   }
-  metalink::Replica replica;
-  replica.url = std::string(url);
-  replica.priority = priority;
-  entry.replicas.push_back(std::move(replica));
+  if (!updated) {
+    metalink::Replica replica;
+    replica.url = std::string(url);
+    replica.priority = priority;
+    entry.replicas.push_back(std::move(replica));
+  }
+  // Keep entries sorted at mutation time: Lookup sits on the federation
+  // server's per-request path and stays a plain copy.
+  SortReplicas(&entry.replicas);
 }
 
 void ReplicaCatalog::SetFileMeta(std::string_view path, uint64_t size,
@@ -70,6 +94,8 @@ Result<metalink::MetalinkFile> ReplicaCatalog::Lookup(
   if (it == entries_.end() || it->second.replicas.empty()) {
     return Status::NotFound("no replicas registered for " + key);
   }
+  // Replicas are kept in canonical order by AddReplica (priority
+  // ascending, URL breaking ties), so this is a plain copy.
   return it->second;
 }
 

@@ -35,7 +35,10 @@ class ReplicaCatalog {
   /// Drops the whole entry.
   void Remove(std::string_view path);
 
-  /// Metalink document data for `path`; kNotFound when unknown.
+  /// Metalink document data for `path`; kNotFound when unknown. The
+  /// returned replicas are deterministically ordered: priority
+  /// ascending, equal priorities by URL — so generated Metalinks do not
+  /// depend on registration order.
   Result<metalink::MetalinkFile> Lookup(std::string_view path) const;
 
   /// All registered logical paths (sorted).

@@ -64,6 +64,31 @@ TEST(ReplicaCatalogTest, EmptyReplicaListIsNotFound) {
   EXPECT_FALSE(catalog.Lookup("/f").ok());
 }
 
+TEST(ReplicaCatalogTest, PriorityTiesOrderedByUrl) {
+  // Same priorities registered in two different orders must come back
+  // identically: priority ascending, URL breaking ties.
+  ReplicaCatalog forward;
+  forward.AddReplica("/f", "http://c/f", 1);
+  forward.AddReplica("/f", "http://a/f", 1);
+  forward.AddReplica("/f", "http://b/f", 0);
+  ReplicaCatalog backward;
+  backward.AddReplica("/f", "http://a/f", 1);
+  backward.AddReplica("/f", "http://b/f", 0);
+  backward.AddReplica("/f", "http://c/f", 1);
+
+  ASSERT_OK_AND_ASSIGN(auto lhs, forward.Lookup("/f"));
+  ASSERT_OK_AND_ASSIGN(auto rhs, backward.Lookup("/f"));
+  ASSERT_EQ(lhs.replicas.size(), 3u);
+  ASSERT_EQ(rhs.replicas.size(), 3u);
+  for (size_t i = 0; i < lhs.replicas.size(); ++i) {
+    EXPECT_EQ(lhs.replicas[i].url, rhs.replicas[i].url);
+    EXPECT_EQ(lhs.replicas[i].priority, rhs.replicas[i].priority);
+  }
+  EXPECT_EQ(lhs.replicas[0].url, "http://b/f");
+  EXPECT_EQ(lhs.replicas[1].url, "http://a/f");
+  EXPECT_EQ(lhs.replicas[2].url, "http://c/f");
+}
+
 // ------------------------------------------------------ FederationHandler
 
 class FederationTest : public ::testing::Test {
@@ -142,6 +167,21 @@ TEST_F(FederationTest, PlainGetRedirectsToBestReplica) {
 TEST_F(FederationTest, UnknownResourceIs404) {
   ASSERT_OK_AND_ASSIGN(auto exchange, Get("/fed/unknown"));
   EXPECT_EQ(exchange.response.status_code, 404);
+}
+
+TEST_F(FederationTest, CatalogHitAndMissCountersTrackLookups) {
+  EXPECT_EQ(handler_->catalog_hits(), 0u);
+  EXPECT_EQ(handler_->catalog_misses(), 0u);
+  ASSERT_OK_AND_ASSIGN(auto hit, Get("/fed/data/f.root"));
+  EXPECT_EQ(hit.response.status_code, 302);
+  EXPECT_EQ(handler_->catalog_hits(), 1u);
+  EXPECT_EQ(handler_->catalog_misses(), 0u);
+  ASSERT_OK_AND_ASSIGN(auto miss, Get("/fed/not-there"));
+  EXPECT_EQ(miss.response.status_code, 404);
+  ASSERT_OK_AND_ASSIGN(auto metalink_hit, Get("/fed/data/f.root?metalink"));
+  EXPECT_EQ(metalink_hit.response.status_code, 200);
+  EXPECT_EQ(handler_->catalog_hits(), 2u);
+  EXPECT_EQ(handler_->catalog_misses(), 1u);
 }
 
 TEST_F(FederationTest, NonGetRejected) {

@@ -179,9 +179,32 @@ TEST_F(ReplicatedSetupTest, MultiStreamSurvivesDeadReplica) {
   EXPECT_EQ(body, content_);
 }
 
-TEST_F(ReplicatedSetupTest, MultiStreamDetectsCorruption) {
-  // Poison replica 2's copy; its chunks fail the whole-file md5.
+TEST_F(ReplicatedSetupTest, MultiStreamQuarantinesMismatchedReplica) {
+  // Poison replica 2's copy: its ETag disagrees with the generation the
+  // set agrees on (seeded from the best-ranked healthy replica), so its
+  // chunks are rejected and refetched from the agreeing replicas — the
+  // download still delivers the correct bytes.
   replicas_[2].store->Put("/data.bin", std::string(content_.size(), 'Z'));
+  params_.metalink_mode = MetalinkMode::kMultiStream;
+  params_.multistream_chunk_bytes = 64 * 1024;
+  params_.multistream_max_streams = 3;
+  HttpClient client(context_.get());
+  MetalinkEngine engine(&client);
+  Uri resource = *Uri::Parse(PrimaryUrl());
+  ASSERT_OK_AND_ASSIGN(std::string body,
+                       engine.MultiStreamGet(resource, params_));
+  EXPECT_EQ(body, content_);
+  IoCounters io = context_->SnapshotCounters();
+  EXPECT_GE(io.replica_validator_rejects, 1u);
+  EXPECT_GE(io.replica_quarantines, 1u);
+}
+
+TEST_F(ReplicatedSetupTest, MultiStreamDetectsCorruption) {
+  // Poison every replica consistently (equal ETag generations, so no
+  // quarantine can help): the Metalink md5 is the last line of defence.
+  for (auto& replica : replicas_) {
+    replica.store->Put("/data.bin", std::string(content_.size(), 'Z'));
+  }
   params_.metalink_mode = MetalinkMode::kMultiStream;
   params_.multistream_chunk_bytes = 64 * 1024;
   HttpClient client(context_.get());
