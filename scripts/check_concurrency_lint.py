@@ -1,0 +1,239 @@
+#!/usr/bin/env python3
+"""Greppable concurrency invariants of the tree (see docs/CONCURRENCY.md).
+
+Four rules, enforced with nothing but the standard library:
+
+  1. no raw `std::thread` under src/ outside the allowlisted files that
+     implement the threading substrate itself (ThreadPool) or a
+     documented thread-per-connection / reader-loop design;
+  2. no `.detach()` anywhere — every thread is joined by an owner;
+  3. no `std::mutex` / `std::lock_guard` / `std::unique_lock` /
+     `std::condition_variable` under src/ outside common/mutex.h: all
+     locking goes through the Clang-capability-annotated wrappers so the
+     `-Werror=thread-safety` analysis sees it;
+  4. heuristic: inside a closure handed to a dispatcher
+     (`Submit(...)` / `ParallelFor(...)` / `ParallelForCancellable(...)`),
+     a `++`/`--`/`+=`/`-=` mutation must target a counter that is
+     `std::atomic` in the same file, be declared locally in the closure,
+     or happen after the closure acquired a MutexLock.
+
+Exit status 0 = clean, 1 = violations (listed on stderr).
+"""
+
+import pathlib
+import re
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+SKIP_DIRS = {"build", "build-debug", ".git"}
+
+# Rule 1 allowlist: the substrate and the documented raw-thread designs.
+ALLOWED_STD_THREAD = {
+    "src/common/thread_pool.h",    # the pool owns its workers
+    "src/common/thread_pool.cc",
+    "src/httpd/server.h",          # thread-per-connection (accept + conns)
+    "src/httpd/server.cc",
+    "src/muxhttp/mux.h",           # accept/conn threads + client reader loop
+    "src/muxhttp/mux.cc",
+    "src/xrootd/xrd_server.h",     # thread-per-connection
+    "src/xrootd/xrd_server.cc",
+    "src/xrootd/xrd_client.h",     # client reader loop
+    "src/xrootd/xrd_client.cc",
+}
+
+RAW_LOCKING_RE = re.compile(
+    r"std::(mutex|recursive_mutex|shared_mutex|timed_mutex|lock_guard|"
+    r"unique_lock|shared_lock|scoped_lock|condition_variable(_any)?)\b")
+# hardware_concurrency() is a static query, not a thread.
+STD_THREAD_RE = re.compile(
+    r"std::(thread|jthread)\b(?!::hardware_concurrency)")
+DETACH_RE = re.compile(r"\.detach\s*\(")
+DISPATCH_RE = re.compile(r"\b(Submit|ParallelFor|ParallelForCancellable)\s*\(")
+MUTATION_RE = re.compile(
+    r"(?:\+\+|--)\s*([A-Za-z_]\w*)\b|\b([A-Za-z_]\w*)\s*(?:\+\+|--|\+=|-=)")
+
+
+def source_files(subdirs):
+    for sub in subdirs:
+        base = REPO_ROOT / sub
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*")):
+            if path.suffix not in (".h", ".cc"):
+                continue
+            if SKIP_DIRS.intersection(p.name for p in path.parents):
+                continue
+            yield path
+
+
+def strip_comments_and_strings(text):
+    """Blanks out comments and string/char literals, preserving offsets
+    and newlines so line numbers keep working."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if text.startswith("//", i):
+            j = text.find("\n", i)
+            j = n if j < 0 else j
+            out.append(" " * (j - i))
+            i = j
+        elif text.startswith("/*", i):
+            j = text.find("*/", i + 2)
+            j = n if j < 0 else j + 2
+            out.append("".join(ch if ch == "\n" else " "
+                               for ch in text[i:j]))
+            i = j
+        elif c in "\"'":
+            j = i + 1
+            while j < n and text[j] != c:
+                j += 2 if text[j] == "\\" else 1
+            j = min(j + 1, n)
+            out.append(c + " " * (j - i - 2) + (c if j - i >= 2 else ""))
+            i = j
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def line_of(text, offset):
+    return text.count("\n", 0, offset) + 1
+
+
+def matching_brace(text, open_pos):
+    """Offset just past the brace matching text[open_pos] == '{'."""
+    depth = 0
+    for i in range(open_pos, len(text)):
+        if text[i] == "{":
+            depth += 1
+        elif text[i] == "}":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return len(text)
+
+
+def lambda_body_at(text, bracket_pos):
+    """Given the '[' opening a lambda capture, returns (start, end)
+    offsets of its `{...}` body, or None."""
+    close = text.find("]", bracket_pos)
+    if close < 0:
+        return None
+    i = close + 1
+    depth = 0
+    while i < len(text):
+        c = text[i]
+        if c == "(" or c == "<":
+            depth += 1
+        elif c == ")" or c == ">":
+            depth -= 1
+        elif c == "{" and depth <= 0:
+            return (i, matching_brace(text, i))
+        elif c in ";," and depth <= 0:
+            return None
+        i += 1
+    return None
+
+
+def dispatcher_closures(text):
+    """Yields (start, end) body spans of closures handed to a
+    dispatcher: inline lambdas, and named lambdas passed by name or via
+    std::move."""
+    for match in DISPATCH_RE.finditer(text):
+        paren = text.find("(", match.end() - 1)
+        if paren < 0:
+            continue
+        # Inline lambda argument(s).
+        args_end = paren
+        depth = 0
+        for i in range(paren, len(text)):
+            if text[i] == "(":
+                depth += 1
+            elif text[i] == ")":
+                depth -= 1
+                if depth == 0:
+                    args_end = i
+                    break
+            elif text[i] == "[" and depth == 1:
+                body = lambda_body_at(text, i)
+                if body:
+                    yield body
+        args = text[paren + 1:args_end]
+        named = re.search(r"std::move\s*\(\s*(\w+)\s*\)|^\s*(\w+)\s*$", args)
+        if named:
+            name = named.group(1) or named.group(2)
+            decl = re.search(r"auto\s+" + re.escape(name) + r"\s*=\s*\[",
+                             text[:match.start()])
+            if decl:
+                body = lambda_body_at(text, decl.end() - 1)
+                if body:
+                    yield body
+
+
+def check_mutations(path, text):
+    problems = []
+    atomics = set(re.findall(r"atomic(?:<[^;{]*?>)?>?\s+(\w+)", text))
+    atomics |= set(re.findall(r"atomic<[^;{]*?>\s*>\s*(\w+)", text))
+    for start, end in dispatcher_closures(text):
+        body = text[start:end]
+        lock_pos = body.find("MutexLock")
+        for m in MUTATION_RE.finditer(body):
+            name = m.group(1) or m.group(2)
+            if name in atomics:
+                continue
+            if 0 <= lock_pos < m.start():
+                continue  # mutation after the closure took a lock
+            # Locally declared in the closure (loop indices, scratch)?
+            decl = re.search(
+                r"(?:auto|size_t|int|unsigned|u?int\d+_t|long|double|float)"
+                r"[\w\s:<>,*&]*\b" + re.escape(name) + r"\b\s*[={;)]",
+                body[:m.start()])
+            if decl:
+                continue
+            problems.append(
+                (line_of(text, start + m.start()),
+                 f"non-atomic counter '{name}' mutated inside a "
+                 "dispatcher closure (make it std::atomic, or guard it "
+                 "with a MutexLock taken in the closure)"))
+    return problems
+
+
+def main() -> int:
+    problems = []
+    for path in source_files(["src"]):
+        rel = str(path.relative_to(REPO_ROOT))
+        text = strip_comments_and_strings(
+            path.read_text(encoding="utf-8"))
+        if rel != "src/common/mutex.h":
+            for m in RAW_LOCKING_RE.finditer(text):
+                problems.append(
+                    (rel, line_of(text, m.start()),
+                     f"raw std::{m.group(1)} — use the annotated wrappers "
+                     "in common/mutex.h"))
+        if rel not in ALLOWED_STD_THREAD:
+            for m in STD_THREAD_RE.finditer(text):
+                problems.append(
+                    (rel, line_of(text, m.start()),
+                     "raw std::thread outside the allowlist — schedule "
+                     "work on a ThreadPool instead"))
+        for lineno, message in check_mutations(path, text):
+            problems.append((rel, lineno, message))
+    for path in source_files(["src", "tests", "bench", "examples"]):
+        rel = str(path.relative_to(REPO_ROOT))
+        text = strip_comments_and_strings(
+            path.read_text(encoding="utf-8"))
+        for m in DETACH_RE.finditer(text):
+            problems.append(
+                (rel, line_of(text, m.start()),
+                 ".detach() is banned — every thread must be joined"))
+    for rel, lineno, message in problems:
+        print(f"{rel}:{lineno}: {message}", file=sys.stderr)
+    if problems:
+        return 1
+    print("concurrency lint OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

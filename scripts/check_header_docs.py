@@ -10,7 +10,11 @@ doxygen pass would need, using nothing but the standard library:
      under src/ is immediately preceded by a comment (template<> lines
      and attribute macros between comment and declaration are fine);
   2. `///` blocks are well-formed: no stray `//!` / `/*!` markers mixing
-     a second doc syntax into the tree.
+     a second doc syntax into the tree;
+  3. every namespace-scope class/struct whose definition holds a Mutex
+     member (directly or in a nested type) documents its concurrency
+     contract: the doc block above it must contain a "Thread-safe:"
+     line (see docs/CONCURRENCY.md).
 
 Forward declarations (`struct Foo;`) are exempt. Exit status 0 = clean,
 1 = violations (listed on stderr).
@@ -26,6 +30,8 @@ SKIP_DIRS = {"build", "build-debug", ".git"}
 DECL_RE = re.compile(r"^(?:class|struct|enum(?:\s+class)?)\s+(\w+)")
 PASSTHROUGH_RE = re.compile(r"^\s*(template\s*<|\[\[)")
 ALT_DOC_RE = re.compile(r"(^|\s)(//!|/\*!)")
+# A Mutex member (not a Mutex& reference) of the annotated wrapper type.
+MUTEX_MEMBER_RE = re.compile(r"^\s*(?:mutable\s+)?Mutex\s+\w+")
 
 
 def header_files():
@@ -53,7 +59,36 @@ def check_file(path: pathlib.Path):
             problems.append(
                 (i + 1, f"undocumented type '{match.group(1)}' "
                         "(add a /// comment block above it)"))
+            continue
+        if not line.startswith(("class", "struct")):
+            continue
+        if not holds_mutex(lines, i):
+            continue
+        doc = []
+        while j >= 0 and lines[j].lstrip().startswith("//"):
+            doc.append(lines[j])
+            j -= 1
+        if not any("Thread-safe:" in d for d in doc):
+            problems.append(
+                (i + 1, f"'{match.group(1)}' holds a Mutex but its doc "
+                        "block has no \"Thread-safe:\" line"))
     return problems
+
+
+def holds_mutex(lines, decl_index):
+    """True when the class body starting at lines[decl_index] contains a
+    Mutex member, including inside nested structs."""
+    depth = 0
+    seen_open = False
+    for line in lines[decl_index:]:
+        if seen_open and depth > 0 and MUTEX_MEMBER_RE.match(line):
+            return True
+        depth += line.count("{") - line.count("}")
+        if "{" in line:
+            seen_open = True
+        if seen_open and depth <= 0:
+            return False
+    return False
 
 
 def main() -> int:

@@ -1,16 +1,18 @@
 #ifndef DAVIX_COMMON_BLOCKING_QUEUE_H_
 #define DAVIX_COMMON_BLOCKING_QUEUE_H_
 
-#include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <utility>
+
+#include "common/mutex.h"
 
 namespace davix {
 
 /// Unbounded multi-producer multi-consumer FIFO with shutdown support.
 /// The dispatch backbone of the thread pool and of the servers.
+///
+/// Thread-safe: yes — every method may be called from any thread.
 template <typename T>
 class BlockingQueue {
  public:
@@ -21,19 +23,21 @@ class BlockingQueue {
   /// Enqueues an item. Returns false (dropping the item) after Close().
   bool Push(T item) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (closed_) return false;
       items_.push_back(std::move(item));
     }
-    cv_.notify_one();
+    cv_.NotifyOne();
     return true;
   }
 
   /// Blocks until an item is available or the queue is closed and drained.
   /// Returns nullopt only on closed-and-empty.
   std::optional<T> Pop() {
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    MutexLock lock(mu_);
+    cv_.Wait(mu_, [this]() REQUIRES(mu_) {
+      return closed_ || !items_.empty();
+    });
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
@@ -42,7 +46,7 @@ class BlockingQueue {
 
   /// Non-blocking pop.
   std::optional<T> TryPop() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
@@ -53,22 +57,22 @@ class BlockingQueue {
   /// Items already queued are still delivered.
   void Close() {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       closed_ = true;
     }
-    cv_.notify_all();
+    cv_.NotifyAll();
   }
 
   size_t Size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return items_.size();
   }
 
  private:
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<T> items_;
-  bool closed_ = false;
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::deque<T> items_ GUARDED_BY(mu_);
+  bool closed_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace davix

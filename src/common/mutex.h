@@ -1,0 +1,125 @@
+#ifndef DAVIX_COMMON_MUTEX_H_
+#define DAVIX_COMMON_MUTEX_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <utility>
+
+#include "common/thread_annotations.h"
+
+namespace davix {
+
+/// Capability-annotated wrapper over std::mutex — the only mutex type
+/// used in this codebase. The wrapper exists because libstdc++'s
+/// std::mutex carries no Clang capability attributes, so GUARDED_BY /
+/// REQUIRES annotations (see common/thread_annotations.h) can only be
+/// checked against an annotated type. scripts/check_concurrency_lint.py
+/// rejects raw std::mutex outside this header.
+///
+/// Thread-safe: yes — it *is* the synchronisation primitive.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// RAII scoped lock over Mutex, with explicit Unlock/Lock so claim-loop
+/// style code (run work outside the lock, reacquire to publish) stays a
+/// single analysable scope. Not recursive, not movable.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu), held_(true) {
+    mu_.Lock();
+  }
+  ~MutexLock() RELEASE() {
+    if (held_) mu_.Unlock();
+  }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// Releases early (e.g. before running a callback); the destructor
+  /// then does nothing unless Lock() reacquires.
+  void Unlock() RELEASE() {
+    held_ = false;
+    mu_.Unlock();
+  }
+
+  /// Reacquires after an early Unlock().
+  void Lock() ACQUIRE() {
+    mu_.Lock();
+    held_ = true;
+  }
+
+ private:
+  Mutex& mu_;
+  bool held_;
+};
+
+/// Condition variable paired with Mutex (std::condition_variable_any
+/// under the hood). Waits logically keep the capability held across the
+/// internal release/reacquire, matching how the thread-safety analysis
+/// models condition-variable waits.
+///
+/// Thread-safe: yes.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Blocks until notified. As with std::condition_variable, spurious
+  /// wakeups happen; prefer the predicate overload.
+  void Wait(Mutex& mu) REQUIRES(mu) {
+    LockView view{mu};
+    cv_.wait(view);
+  }
+
+  /// Blocks until `pred()` is true. `pred` runs with `mu` held; when it
+  /// reads GUARDED_BY members, annotate the lambda itself REQUIRES(mu).
+  template <typename Pred>
+  void Wait(Mutex& mu, Pred pred) REQUIRES(mu) {
+    LockView view{mu};
+    cv_.wait(view, std::move(pred));
+  }
+
+  /// Predicate wait with a deadline; returns pred() at wakeup time
+  /// (false = timed out with the predicate still unsatisfied).
+  template <typename Pred>
+  bool WaitFor(Mutex& mu, int64_t timeout_micros, Pred pred) REQUIRES(mu) {
+    LockView view{mu};
+    return cv_.wait_for(view, std::chrono::microseconds(timeout_micros),
+                        std::move(pred));
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  /// BasicLockable view over Mutex handed to condition_variable_any.
+  /// The unannotated lock/unlock are what lets a Wait release and
+  /// reacquire the mutex without the analysis seeing a capability
+  /// change — exactly the condition-variable semantics.
+  struct LockView {
+    Mutex& mu;
+    void lock() NO_THREAD_SAFETY_ANALYSIS { mu.mu_.lock(); }
+    void unlock() NO_THREAD_SAFETY_ANALYSIS { mu.mu_.unlock(); }
+  };
+
+  std::condition_variable_any cv_;
+};
+
+}  // namespace davix
+
+#endif  // DAVIX_COMMON_MUTEX_H_

@@ -14,7 +14,9 @@ std::string Rng::CompressibleBytes(size_t n) {
       size_t len = 4 + Below(24);
       out.append(std::min(len, n - out.size()), c);
     } else {
-      size_t start = Below(sizeof(kWords) - 9);
+      // len can reach 11, so start must leave 11 readable characters
+      // (excluding the trailing NUL) or the append reads past kWords.
+      size_t start = Below(sizeof(kWords) - 12);
       size_t len = 4 + Below(8);
       out.append(kWords + start, std::min(len, n - out.size()));
     }

@@ -98,7 +98,9 @@ std::optional<int64_t> ParseInt64(std::string_view s) {
         static_cast<uint64_t>(std::numeric_limits<int64_t>::max()) + 1) {
       return std::nullopt;
     }
-    return -static_cast<int64_t>(*magnitude);
+    // Negate in the unsigned domain: -INT64_MIN is not representable,
+    // so `-static_cast<int64_t>(m)` would be UB for m == 2^63.
+    return static_cast<int64_t>(0u - *magnitude);
   }
   if (*magnitude > static_cast<uint64_t>(std::numeric_limits<int64_t>::max())) {
     return std::nullopt;

@@ -1,0 +1,89 @@
+#ifndef DAVIX_COMMON_THREAD_ANNOTATIONS_H_
+#define DAVIX_COMMON_THREAD_ANNOTATIONS_H_
+
+// Clang thread-safety (capability) annotation macros, in the style of
+// abseil's thread_annotations.h. On Clang the static analysis behind
+// -Wthread-safety proves at compile time that every access to a
+// GUARDED_BY member happens with the right lock held; the CI clang leg
+// builds with -Werror=thread-safety so a violation fails the build. On
+// other compilers every macro expands to nothing.
+//
+// Conventions (see docs/CONCURRENCY.md):
+//  - every member protected by a lock is declared GUARDED_BY(mu_);
+//  - private helpers named *Locked take REQUIRES(mu_) instead of the
+//    lock itself;
+//  - locks are only ever taken through common/mutex.h wrappers
+//    (davix::Mutex / davix::MutexLock / davix::CondVar), never through
+//    std::mutex directly — scripts/check_concurrency_lint.py enforces
+//    this greppably so the annotations cannot be bypassed.
+
+#if defined(__clang__)
+#define DAVIX_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
+#else
+#define DAVIX_THREAD_ANNOTATION_ATTRIBUTE(x)  // no-op
+#endif
+
+/// Declares a type to be a lockable capability ("mutex").
+#define CAPABILITY(x) DAVIX_THREAD_ANNOTATION_ATTRIBUTE(capability(x))
+
+/// Declares an RAII type that acquires a capability in its constructor
+/// and releases it in its destructor.
+#define SCOPED_CAPABILITY DAVIX_THREAD_ANNOTATION_ATTRIBUTE(scoped_lockable)
+
+/// Declares that a data member may only be accessed while holding `x`.
+#define GUARDED_BY(x) DAVIX_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(x))
+
+/// Declares that the data pointed to by a pointer member may only be
+/// accessed while holding `x` (the pointer itself is unguarded).
+#define PT_GUARDED_BY(x) DAVIX_THREAD_ANNOTATION_ATTRIBUTE(pt_guarded_by(x))
+
+/// Declares that a function may only be called while holding the given
+/// capabilities (the *Locked helper convention).
+#define REQUIRES(...) \
+  DAVIX_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
+
+/// Shared (reader) variant of REQUIRES.
+#define REQUIRES_SHARED(...) \
+  DAVIX_THREAD_ANNOTATION_ATTRIBUTE(requires_shared_capability(__VA_ARGS__))
+
+/// Declares that a function acquires the given capabilities and does not
+/// release them before returning.
+#define ACQUIRE(...) \
+  DAVIX_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+
+/// Declares that a function releases the given capabilities.
+#define RELEASE(...) \
+  DAVIX_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
+
+/// Declares that a function attempts to acquire the given capabilities
+/// and succeeded when it returned `b`.
+#define TRY_ACQUIRE(b, ...) \
+  DAVIX_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_capability(b, __VA_ARGS__))
+
+/// Declares that a function must NOT be called while holding the given
+/// capabilities (deadlock prevention on self-locking entry points).
+#define EXCLUDES(...) \
+  DAVIX_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+/// Declares the lock returned by a getter.
+#define RETURN_CAPABILITY(x) \
+  DAVIX_THREAD_ANNOTATION_ATTRIBUTE(lock_returned(x))
+
+/// Declares an acquisition-order edge between two locks.
+#define ACQUIRED_BEFORE(...) \
+  DAVIX_THREAD_ANNOTATION_ATTRIBUTE(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) \
+  DAVIX_THREAD_ANNOTATION_ATTRIBUTE(acquired_after(__VA_ARGS__))
+
+/// Asserts at runtime semantics level that the capability is held
+/// (turns the analysis on for the rest of the scope).
+#define ASSERT_CAPABILITY(x) \
+  DAVIX_THREAD_ANNOTATION_ATTRIBUTE(assert_capability(x))
+
+/// Escape hatch for functions whose locking discipline is correct but
+/// beyond the analysis (single-owner handoffs, lock views). Every use
+/// carries a comment explaining why the access is safe.
+#define NO_THREAD_SAFETY_ANALYSIS \
+  DAVIX_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)
+
+#endif  // DAVIX_COMMON_THREAD_ANNOTATIONS_H_

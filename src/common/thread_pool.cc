@@ -1,9 +1,9 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
-#include <condition_variable>
 #include <memory>
-#include <mutex>
+
+#include "common/mutex.h"
 
 namespace davix {
 
@@ -51,30 +51,30 @@ namespace {
 /// call already returned (every index claimed by faster executors) finds
 /// nothing to do and exits without touching the caller's frame.
 struct ParallelState {
-  std::mutex mu;
-  std::condition_variable cv;
-  size_t next = 0;       ///< next unclaimed index
-  size_t executing = 0;  ///< fn calls currently in flight
-  bool cancelled = false;
-  size_t n = 0;
-  std::function<bool(size_t)> fn;
+  Mutex mu;
+  CondVar cv;
+  size_t next GUARDED_BY(mu) = 0;       ///< next unclaimed index
+  size_t executing GUARDED_BY(mu) = 0;  ///< fn calls currently in flight
+  bool cancelled GUARDED_BY(mu) = false;
+  size_t n = 0;                         ///< immutable after construction
+  std::function<bool(size_t)> fn;       ///< immutable after construction
 };
 
 /// Claim loop run by the caller and by every helper task: claim an
 /// index, run fn outside the lock, repeat until exhausted or cancelled.
 void RunClaimLoop(const std::shared_ptr<ParallelState>& state) {
-  std::unique_lock<std::mutex> lock(state->mu);
+  MutexLock lock(state->mu);
   while (!state->cancelled && state->next < state->n) {
     size_t i = state->next++;
     ++state->executing;
-    lock.unlock();
+    lock.Unlock();
     bool keep_going = state->fn(i);
-    lock.lock();
+    lock.Lock();
     --state->executing;
     if (!keep_going) state->cancelled = true;
     if (state->executing == 0 &&
         (state->cancelled || state->next >= state->n)) {
-      state->cv.notify_all();
+      state->cv.NotifyAll();
     }
   }
 }
@@ -102,8 +102,8 @@ bool RunParallel(ThreadPool* pool, size_t n, size_t parallelism,
   }
   RunClaimLoop(state);
 
-  std::unique_lock<std::mutex> lock(state->mu);
-  state->cv.wait(lock, [&] {
+  MutexLock lock(state->mu);
+  state->cv.Wait(state->mu, [&]() REQUIRES(state->mu) {
     return state->executing == 0 &&
            (state->cancelled || state->next >= state->n);
   });

@@ -17,6 +17,9 @@ namespace davix {
 /// parallel operations (multi-stream downloads, concurrent dispatch),
 /// and as the per-Context dispatcher behind the parallel-for primitives
 /// and the asynchronous read-ahead window.
+///
+/// Thread-safe: yes — Submit/Shutdown and the accessors may be called
+/// from any thread; the queue provides the synchronisation.
 class ThreadPool {
  public:
   /// Spawns `num_threads` workers (minimum 1).

@@ -66,7 +66,7 @@ BlockCache::Shard& BlockCache::ShardFor(const UrlInfo* url,
 
 std::shared_ptr<BlockCache::UrlInfo> BlockCache::FindUrl(
     const std::string& url_key) const {
-  std::lock_guard<std::mutex> lock(registry_mu_);
+  MutexLock lock(registry_mu_);
   auto it = registry_.find(url_key);
   return it == registry_.end() ? nullptr : it->second;
 }
@@ -88,7 +88,7 @@ uint64_t BlockCache::ReadPrefix(const std::string& url_key, uint64_t offset,
       Shard& shard = ShardFor(url, index);
       std::shared_ptr<const std::string> payload;
       {
-        std::lock_guard<std::mutex> lock(shard.mu);
+        MutexLock lock(shard.mu);
         auto it = shard.blocks.find(BlockKey{url, index});
         if (it == shard.blocks.end()) break;
         shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_it);
@@ -131,7 +131,7 @@ uint64_t BlockCache::ReadSuffix(const std::string& url_key, uint64_t offset,
       Shard& shard = ShardFor(url, index);
       std::shared_ptr<const std::string> payload;
       {
-        std::lock_guard<std::mutex> lock(shard.mu);
+        MutexLock lock(shard.mu);
         auto it = shard.blocks.find(BlockKey{url, index});
         if (it == shard.blocks.end()) break;
         shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_it);
@@ -174,7 +174,7 @@ bool BlockCache::TryReadFull(const std::string& url_key, uint64_t offset,
     Shard& shard = ShardFor(url, index);
     std::shared_ptr<const std::string> payload;
     {
-      std::lock_guard<std::mutex> lock(shard.mu);
+      MutexLock lock(shard.mu);
       auto it = shard.blocks.find(BlockKey{url, index});
       if (it == shard.blocks.end()) return false;
       shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_it);
@@ -199,7 +199,7 @@ bool BlockCache::TryReadFull(const std::string& url_key, uint64_t offset,
 bool BlockCache::NoteValidator(const std::string& url_key,
                                const BlockValidator& v) {
   if (!enabled() || v.empty()) return false;
-  std::lock_guard<std::mutex> lock(registry_mu_);
+  MutexLock lock(registry_mu_);
   auto it = registry_.find(url_key);
   if (it == registry_.end()) return false;  // nothing resident to protect
   UrlInfo* url = it->second.get();
@@ -225,7 +225,7 @@ std::optional<BlockValidator> BlockCache::UrlValidator(
   if (!enabled()) return std::nullopt;
   // Read under the registry lock: NoteValidator mutates the validator
   // in place there, and the block_count gate mirrors HasUrl.
-  std::lock_guard<std::mutex> lock(registry_mu_);
+  MutexLock lock(registry_mu_);
   auto it = registry_.find(url_key);
   if (it == registry_.end() ||
       it->second->block_count.load(std::memory_order_relaxed) == 0) {
@@ -272,7 +272,7 @@ bool BlockCache::Insert(const std::string& url_key,
   // never interleave between them, which is what keeps "resident block
   // == current generation" an invariant. Fills are network-paced, so
   // this serialization is never the bottleneck.
-  std::lock_guard<std::mutex> lock(registry_mu_);
+  MutexLock lock(registry_mu_);
   auto [it, inserted] = registry_.try_emplace(url_key);
   if (inserted) {
     it->second = std::make_shared<UrlInfo>();
@@ -290,7 +290,7 @@ bool BlockCache::Insert(const std::string& url_key,
   for (Slice& slice : slices) {
     if (slice.payload->size() > shard_budget_) continue;  // can never fit
     Shard& shard = ShardFor(url, slice.index);
-    std::lock_guard<std::mutex> shard_lock(shard.mu);
+    MutexLock shard_lock(shard.mu);
     auto [block_it, fresh] =
         shard.blocks.try_emplace(BlockKey{url, slice.index});
     Block& block = block_it->second;
@@ -342,12 +342,13 @@ void BlockCache::EvictLocked(Shard* shard) {
 
 void BlockCache::PurgeBlocksOf(UrlInfo* url) {
   purge_epoch_.fetch_add(1, std::memory_order_acq_rel);
-  for (std::unique_ptr<Shard>& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+  for (std::unique_ptr<Shard>& shard_ptr : shards_) {
+    Shard* shard = shard_ptr.get();
+    MutexLock lock(shard->mu);
     auto it = shard->blocks.lower_bound(BlockKey{url, 0});
     while (it != shard->blocks.end() && it->first.first == url) {
       auto next = std::next(it);
-      RemoveBlockLocked(shard.get(), it, &invalidations_);
+      RemoveBlockLocked(shard, it, &invalidations_);
       it = next;
     }
   }
@@ -368,7 +369,7 @@ void BlockCache::ReclaimEmptiesLocked() {
 
 void BlockCache::PurgeUrl(const std::string& url_key) {
   if (!enabled()) return;
-  std::lock_guard<std::mutex> lock(registry_mu_);
+  MutexLock lock(registry_mu_);
   auto it = registry_.find(url_key);
   if (it == registry_.end()) return;
   PurgeBlocksOf(it->second.get());
@@ -377,7 +378,7 @@ void BlockCache::PurgeUrl(const std::string& url_key) {
 
 void BlockCache::Clear() {
   if (!enabled()) return;
-  std::lock_guard<std::mutex> lock(registry_mu_);
+  MutexLock lock(registry_mu_);
   for (auto& [key, url] : registry_) {
     PurgeBlocksOf(url.get());
   }
@@ -394,8 +395,9 @@ BlockCacheCounters BlockCache::Snapshot() const {
   out.invalidations = invalidations_.load(std::memory_order_relaxed);
   out.bytes_saved = bytes_saved_.load(std::memory_order_relaxed);
   out.bytes_inserted = bytes_inserted_.load(std::memory_order_relaxed);
-  for (const std::unique_ptr<Shard>& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+  for (const std::unique_ptr<Shard>& shard_ptr : shards_) {
+    const Shard* shard = shard_ptr.get();
+    MutexLock lock(shard->mu);
     out.resident_bytes += shard->resident_bytes;
     out.resident_blocks += shard->lru.size();
   }

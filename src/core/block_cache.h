@@ -7,13 +7,13 @@
 #include <list>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/uri.h"
 
 namespace davix {
@@ -94,7 +94,7 @@ struct BlockCacheCounters {
 /// or invalidation racing an in-flight read only drops the cache's
 /// reference — the reader's copy-out stays valid.
 ///
-/// Thread-safety: fully thread-safe. Blocks are spread over lock
+/// Thread-safe: yes. Blocks are spread over lock
 /// shards by (URL, block index) hash; lookups take only the shard
 /// mutexes they touch, with payload copy-out outside the lock.
 /// Mutations (fills, invalidations) additionally serialize on a small
@@ -214,6 +214,8 @@ class BlockCache {
     /// Registry key, kept here so block removal can queue the entry
     /// for reclamation.
     std::string key;
+    /// Guarded by the cache's registry_mu_ (not expressible as a
+    /// GUARDED_BY: the guard lives on the enclosing BlockCache).
     BlockValidator validator;
     /// Resident blocks of this URL (maintained under shard locks);
     /// lets HasUrl answer without sweeping the shards.
@@ -241,10 +243,10 @@ class BlockCache {
   };
 
   struct Shard {
-    mutable std::mutex mu;
-    std::map<BlockKey, Block, BlockKeyLess> blocks;
-    std::list<BlockKey> lru;  ///< front = most recently used
-    uint64_t resident_bytes = 0;
+    mutable Mutex mu;
+    std::map<BlockKey, Block, BlockKeyLess> blocks GUARDED_BY(mu);
+    std::list<BlockKey> lru GUARDED_BY(mu);  ///< front = most recently used
+    uint64_t resident_bytes GUARDED_BY(mu) = 0;
   };
 
   Shard& ShardFor(const UrlInfo* url, uint64_t block_index) const;
@@ -260,16 +262,17 @@ class BlockCache {
   /// whose last block goes is queued on `empties_` for reclamation.
   void RemoveBlockLocked(Shard* shard,
                          std::map<BlockKey, Block, BlockKeyLess>::iterator it,
-                         std::atomic<uint64_t>* counter);
+                         std::atomic<uint64_t>* counter)
+      REQUIRES(shard->mu, registry_mu_);
   /// Evicts LRU-tail blocks until the shard fits its budget (shard and
   /// registry locks held).
-  void EvictLocked(Shard* shard);
+  void EvictLocked(Shard* shard) REQUIRES(shard->mu, registry_mu_);
   /// Drops every block of `url` across all shards (registry lock held
   /// by the caller), counting invalidations.
-  void PurgeBlocksOf(UrlInfo* url);
+  void PurgeBlocksOf(UrlInfo* url) REQUIRES(registry_mu_);
   /// Erases registry entries queued on `empties_` that still have no
   /// blocks (registry lock held). Runs at the end of every mutator.
-  void ReclaimEmptiesLocked();
+  void ReclaimEmptiesLocked() REQUIRES(registry_mu_);
 
   BlockCacheConfig config_;
   uint64_t shard_budget_ = 0;
@@ -279,12 +282,12 @@ class BlockCache {
   /// change which generation of a URL is resident (Insert,
   /// NoteValidator, PurgeUrl, Clear). Lock order: registry_mu_ before
   /// any shard mutex.
-  mutable std::mutex registry_mu_;
-  std::map<std::string, std::shared_ptr<UrlInfo>> registry_;
+  mutable Mutex registry_mu_;
+  std::map<std::string, std::shared_ptr<UrlInfo>> registry_
+      GUARDED_BY(registry_mu_);
   /// Keys of entries whose last block was just removed; reclaimed at
-  /// the end of the mutator that emptied them (guarded by
-  /// registry_mu_).
-  std::vector<std::string> empties_;
+  /// the end of the mutator that emptied them.
+  std::vector<std::string> empties_ GUARDED_BY(registry_mu_);
 
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};

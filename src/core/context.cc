@@ -13,7 +13,7 @@ Context::Context(SessionPoolConfig pool_config, size_t dispatcher_threads,
       dispatcher_threads_(dispatcher_threads) {}
 
 ThreadPool& Context::dispatcher() {
-  std::lock_guard<std::mutex> lock(dispatcher_mu_);
+  MutexLock lock(dispatcher_mu_);
   if (!dispatcher_) {
     size_t threads = dispatcher_threads_;
     if (threads == 0) {
@@ -25,7 +25,7 @@ ThreadPool& Context::dispatcher() {
 }
 
 bool Context::dispatcher_started() const {
-  std::lock_guard<std::mutex> lock(dispatcher_mu_);
+  MutexLock lock(dispatcher_mu_);
   return dispatcher_ != nullptr;
 }
 

@@ -4,8 +4,8 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 
+#include "common/mutex.h"
 #include "common/stats.h"
 #include "common/thread_pool.h"
 #include "core/block_cache.h"
@@ -41,8 +41,8 @@ struct ContextStats {
 /// require the Context to outlive them. One Context is meant to be
 /// shared by all threads of an application.
 ///
-/// Thread-safety: every member function and every object reachable from
-/// one (pool, dispatcher, cache, stats) is thread-safe.
+/// Thread-safe: yes — every member function and every object reachable
+/// from one (pool, dispatcher, cache, stats) is thread-safe.
 class Context {
  public:
   /// `dispatcher_threads` bounds the shared dispatcher pool; 0 = auto
@@ -91,11 +91,12 @@ class Context {
   std::unique_ptr<BlockCache> block_cache_;
   ContextStats stats_;
   size_t dispatcher_threads_;
-  mutable std::mutex dispatcher_mu_;
+  mutable Mutex dispatcher_mu_;
   /// Declared last: destroyed first, so in-flight dispatcher tasks that
   /// touch the session pool, the cache, or the stats finish before
-  /// those members go.
-  std::unique_ptr<ThreadPool> dispatcher_;
+  /// those members go. The lock covers creation; the pool object itself
+  /// is thread-safe once the reference escapes dispatcher().
+  std::unique_ptr<ThreadPool> dispatcher_ GUARDED_BY(dispatcher_mu_);
 };
 
 }  // namespace core

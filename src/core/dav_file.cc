@@ -2,12 +2,12 @@
 
 #include <algorithm>
 #include <atomic>
-#include <mutex>
 #include <unordered_map>
 
 #include "common/base64.h"
 #include "common/clock.h"
 #include "common/logging.h"
+#include "common/mutex.h"
 #include "core/block_cache.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
@@ -24,11 +24,13 @@ namespace core {
 /// reports errors here, and the first batch to receive a 200 (server
 /// ignored the Range header) parks the full entity for its siblings.
 struct VecDispatchState {
-  std::mutex mu;
-  Status first_error = Status::OK();
+  Mutex mu;
+  Status first_error GUARDED_BY(mu) = Status::OK();
   std::atomic<bool> failed{false};
   /// Written once under `mu`, then read-only; readers gate on the
-  /// acquire-load of `have_full_body`.
+  /// acquire-load of `have_full_body` (a release/acquire publication,
+  /// so the post-publication reads are deliberately lock-free and the
+  /// member stays unannotated).
   std::string full_body;
   std::atomic<bool> have_full_body{false};
   /// Block-cache fill target (null = caching off for this dispatch).
@@ -452,7 +454,7 @@ Result<std::vector<std::string>> DavFile::ReadPartialVecAt(
                                 wire_view, &state, scatter_slots,
                                 /*did_fetch=*/nullptr);
         if (!status.ok()) {
-          std::lock_guard<std::mutex> lock(state.mu);
+          MutexLock lock(state.mu);
           if (state.first_error.ok()) state.first_error = std::move(status);
           state.failed.store(true, std::memory_order_release);
           return false;  // first-error cancellation: skip unstarted batches
@@ -461,7 +463,7 @@ Result<std::vector<std::string>> DavFile::ReadPartialVecAt(
       });
 
   {
-    std::lock_guard<std::mutex> lock(state.mu);
+    MutexLock lock(state.mu);
     if (!state.first_error.ok()) return state.first_error;
   }
   if (cache && cache_served && cache->PurgeEpoch() != purge_epoch) {
@@ -566,7 +568,7 @@ Status DavFile::FetchVecBatch(const Uri& replica,
     // is satisfied locally.
     bool stored = false;
     {
-      std::lock_guard<std::mutex> lock(state->mu);
+      MutexLock lock(state->mu);
       if (!state->have_full_body.load(std::memory_order_relaxed)) {
         state->full_body = std::move(response.body);
         state->have_full_body.store(true, std::memory_order_release);

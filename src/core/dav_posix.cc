@@ -49,14 +49,14 @@ Result<int> DavPosix::Open(const std::string& url,
   open_file->file = std::make_shared<DavFile>(std::move(file));
   open_file->params = params;
   open_file->size = info.size;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   int fd = next_fd_++;
   open_files_[fd] = std::move(open_file);
   return fd;
 }
 
 Result<std::shared_ptr<DavPosix::OpenFile>> DavPosix::Lookup(int fd) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = open_files_.find(fd);
   if (it == open_files_.end()) {
     return Status::InvalidArgument("bad file descriptor " +
@@ -67,21 +67,21 @@ Result<std::shared_ptr<DavPosix::OpenFile>> DavPosix::Lookup(int fd) const {
 
 Result<std::string> DavPosix::Read(int fd, size_t count) {
   DAVIX_ASSIGN_OR_RETURN(std::shared_ptr<OpenFile> file, Lookup(fd));
-  std::lock_guard<std::mutex> lock(file->mu);
-  if (file->cursor >= file->size || count == 0) return std::string();
-  uint64_t want = std::min<uint64_t>(count, file->size - file->cursor);
+  OpenFile* f = file.get();
+  MutexLock lock(f->mu);
+  if (f->cursor >= f->size || count == 0) return std::string();
+  uint64_t want = std::min<uint64_t>(count, f->size - f->cursor);
 
-  if (file->params.readahead_bytes == 0) {
+  if (f->params.readahead_bytes == 0) {
     DAVIX_ASSIGN_OR_RETURN(
-        std::string data,
-        file->file->ReadPartial(file->cursor, want, file->params));
-    file->cursor += data.size();
+        std::string data, f->file->ReadPartial(f->cursor, want, f->params));
+    f->cursor += data.size();
     return data;
   }
-  if (file->params.readahead_window_chunks > 0) {
-    return ReadWindowed(file.get(), want);
+  if (f->params.readahead_window_chunks > 0) {
+    return ReadWindowed(f, want);
   }
-  return ReadBuffered(file.get(), want);
+  return ReadBuffered(f, want);
 }
 
 Result<std::string> DavPosix::ReadBuffered(OpenFile* file, uint64_t want) {
@@ -176,17 +176,18 @@ Result<std::vector<std::string>> DavPosix::PReadVec(
 
 Result<uint64_t> DavPosix::LSeek(int fd, int64_t offset, int whence) {
   DAVIX_ASSIGN_OR_RETURN(std::shared_ptr<OpenFile> file, Lookup(fd));
-  std::lock_guard<std::mutex> lock(file->mu);
+  OpenFile* f = file.get();
+  MutexLock lock(f->mu);
   int64_t base;
   switch (whence) {
     case 0:  // SEEK_SET
       base = 0;
       break;
     case 1:  // SEEK_CUR
-      base = static_cast<int64_t>(file->cursor);
+      base = static_cast<int64_t>(f->cursor);
       break;
     case 2:  // SEEK_END
-      base = static_cast<int64_t>(file->size);
+      base = static_cast<int64_t>(f->size);
       break;
     default:
       return Status::InvalidArgument("bad whence " + std::to_string(whence));
@@ -195,22 +196,22 @@ Result<uint64_t> DavPosix::LSeek(int fd, int64_t offset, int whence) {
   if (target < 0) {
     return Status::InvalidArgument("seek before start of file");
   }
-  if (file->stream && static_cast<uint64_t>(target) != file->cursor &&
-      !file->stream->Covers(static_cast<uint64_t>(target))) {
+  if (f->stream && static_cast<uint64_t>(target) != f->cursor &&
+      !f->stream->Covers(static_cast<uint64_t>(target))) {
     // Out-of-window seek: eagerly cancel the prefetch, since the
     // repositioned cursor makes every in-flight chunk stale and
     // abandoning them now stops them from competing with the post-seek
     // reads for the link. The next Read re-seeds at the new cursor. A
     // target still inside the window keeps the prefetch alive — the
     // next Read just drops the skipped chunks.
-    file->stream->Invalidate();
+    f->stream->Invalidate();
   }
-  file->cursor = static_cast<uint64_t>(target);
-  return file->cursor;
+  f->cursor = static_cast<uint64_t>(target);
+  return f->cursor;
 }
 
 Status DavPosix::Close(int fd) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (open_files_.erase(fd) == 0) {
     return Status::InvalidArgument("bad file descriptor " +
                                    std::to_string(fd));
@@ -285,7 +286,7 @@ Result<std::vector<std::string>> DavPosix::ListDir(
 }
 
 size_t DavPosix::OpenCount() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return open_files_.size();
 }
 

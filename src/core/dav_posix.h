@@ -4,10 +4,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
 #include "core/dav_file.h"
 #include "core/read_ahead_stream.h"
@@ -18,10 +18,12 @@ namespace core {
 /// POSIX-like remote file access, mirroring davix's DavPosix facade: the
 /// API an I/O framework (like the ROOT plugin, TDavixFile) binds to.
 ///
-/// Descriptors are plain ints handed out by Open. All calls are
-/// thread-safe; concurrent PRead calls on the same descriptor proceed in
-/// parallel, each drawing its own pooled connection (§2.2 dispatch),
-/// while cursor-moving calls (Read/LSeek) serialize per descriptor.
+/// Descriptors are plain ints handed out by Open.
+///
+/// Thread-safe: yes — concurrent PRead calls on the same descriptor
+/// proceed in parallel, each drawing its own pooled connection (§2.2
+/// dispatch), while cursor-moving calls (Read/LSeek) serialize per
+/// descriptor.
 ///
 /// Ownership: holds a raw pointer to the Context (which must outlive
 /// it) and shares ownership of each open file with any in-flight
@@ -87,31 +89,35 @@ class DavPosix {
   struct OpenFile {
     /// Shared so in-flight read-ahead fetches can keep the remote file
     /// (and its HttpClient) alive across a Close that races them.
+    /// `file`, `params` and `size` are immutable after Open — only the
+    /// cursor-moving state needs the descriptor lock.
     std::shared_ptr<DavFile> file;
     RequestParams params;
     uint64_t size = 0;
-    uint64_t cursor = 0;
+    Mutex mu;
+    uint64_t cursor GUARDED_BY(mu) = 0;
     // Synchronous read-ahead buffer (params.readahead_bytes > 0,
     // params.readahead_window_chunks == 0).
-    uint64_t buffer_offset = 0;
-    std::string buffer;
+    uint64_t buffer_offset GUARDED_BY(mu) = 0;
+    std::string buffer GUARDED_BY(mu);
     // Asynchronous sliding window (params.readahead_window_chunks > 0),
     // created lazily on the first buffered Read.
-    std::unique_ptr<ReadAheadStream> stream;
-    std::mutex mu;  // guards cursor + buffer + stream
+    std::unique_ptr<ReadAheadStream> stream GUARDED_BY(mu);
   };
 
   Result<std::shared_ptr<OpenFile>> Lookup(int fd) const;
 
   /// Serves Read from the synchronous single-buffer window.
-  Result<std::string> ReadBuffered(OpenFile* file, uint64_t want);
+  Result<std::string> ReadBuffered(OpenFile* file, uint64_t want)
+      REQUIRES(file->mu);
   /// Serves Read from the asynchronous sliding window.
-  Result<std::string> ReadWindowed(OpenFile* file, uint64_t want);
+  Result<std::string> ReadWindowed(OpenFile* file, uint64_t want)
+      REQUIRES(file->mu);
 
   Context* context_;
-  mutable std::mutex mu_;
-  std::map<int, std::shared_ptr<OpenFile>> open_files_;
-  int next_fd_ = 3;
+  mutable Mutex mu_;
+  std::map<int, std::shared_ptr<OpenFile>> open_files_ GUARDED_BY(mu_);
+  int next_fd_ GUARDED_BY(mu_) = 3;
 };
 
 }  // namespace core

@@ -38,6 +38,9 @@ void ReadAheadStream::TopUp() {
       std::string cached;
       if (config_.probe(chunk.offset, chunk.length, &cached)) {
         chunk.state->claimed.store(true, std::memory_order_release);
+        // Uncontended (the state was just constructed); locked for the
+        // GUARDED_BY discipline.
+        MutexLock lock(chunk.state->mu);
         chunk.state->done = true;
         chunk.state->data = std::move(cached);
         window_.push_back(std::move(chunk));
@@ -60,10 +63,10 @@ void ReadAheadStream::TopUp() {
       } else {
         data = fetch(offset, length);
       }
-      std::lock_guard<std::mutex> lock(state->mu);
+      MutexLock lock(state->mu);
       state->data = std::move(data);
       state->done = true;
-      state->cv.notify_all();
+      state->cv.NotifyAll();
     };
     // A pool that stopped accepting work (Context teardown) degrades to
     // a synchronous fetch on the consumer thread.
@@ -80,12 +83,14 @@ Result<std::string> ReadAheadStream::WaitForChunk(const Chunk& chunk) {
     // pool. Execute the fetch inline instead of blocking on it; the
     // task, when it eventually runs, sees `claimed` and exits.
     Result<std::string> data = fetch_(chunk.offset, chunk.length);
-    std::lock_guard<std::mutex> lock(chunk.state->mu);
+    MutexLock lock(chunk.state->mu);
     chunk.state->data = std::move(data);
     chunk.state->done = true;
   }
-  std::unique_lock<std::mutex> lock(chunk.state->mu);
-  chunk.state->cv.wait(lock, [&] { return chunk.state->done; });
+  MutexLock lock(chunk.state->mu);
+  chunk.state->cv.Wait(chunk.state->mu, [&]() REQUIRES(chunk.state->mu) {
+    return chunk.state->done;
+  });
   Result<std::string> data = std::move(chunk.state->data);
   DAVIX_RETURN_IF_ERROR(data.status());
   if (data->size() != chunk.length) {
@@ -134,8 +139,9 @@ Result<std::string> ReadAheadStream::Read(uint64_t position, size_t count) {
       TopUp();
     } else {
       // Partially consumed front: restore its payload for the next Read.
-      // No lock needed — the fetch task finished (done is true), so the
-      // consumer thread is the only one touching this state now.
+      // The fetch task finished (done is true), so the lock is
+      // uncontended — taken for the GUARDED_BY discipline.
+      MutexLock lock(front.state->mu);
       front.state->data = std::move(data);
     }
   }

@@ -1,14 +1,14 @@
 #ifndef DAVIX_CORE_READ_AHEAD_STREAM_H_
 #define DAVIX_CORE_READ_AHEAD_STREAM_H_
 
-#include <condition_variable>
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 
+#include "common/mutex.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
 
@@ -73,9 +73,10 @@ struct ReadAheadStreamConfig {
 /// mid-stream, so a dying source degrades throughput instead of
 /// surfacing an error here.
 ///
-/// Thread model: Read/Invalidate require external synchronisation (the
-/// DavPosix descriptor lock provides it); the internal locking only
-/// covers chunk completion, which happens on dispatcher threads.
+/// Thread-safe: partially — Read/Invalidate require external
+/// synchronisation (the DavPosix descriptor lock provides it); the
+/// internal locking only covers chunk completion, which happens on
+/// dispatcher threads.
 class ReadAheadStream {
  public:
   /// `pool` must outlive the stream. `fetch` is copied into scheduled
@@ -127,12 +128,12 @@ class ReadAheadStream {
   /// thread whose siblings are all blocked the same way: the fetch can
   /// never be stuck behind the very threads waiting for it.
   struct ChunkState {
-    std::mutex mu;
-    std::condition_variable cv;
-    bool done = false;
+    Mutex mu;
+    CondVar cv;
+    bool done GUARDED_BY(mu) = false;
     std::atomic<bool> abandoned{false};
     std::atomic<bool> claimed{false};
-    Result<std::string> data{std::string()};
+    Result<std::string> data GUARDED_BY(mu){std::string()};
   };
 
   struct Chunk {

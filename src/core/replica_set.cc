@@ -59,7 +59,7 @@ bool ShouldFailover(const Status& status) {
 // ---------------------------------------------------------------------------
 
 void ReplicaSource::RecordSuccess(int64_t latency_micros) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   consecutive_failures_ = 0;
   quarantine_until_micros_ = 0;
   ++successes_;
@@ -73,7 +73,7 @@ void ReplicaSource::RecordSuccess(int64_t latency_micros) {
 
 bool ReplicaSource::RecordFailure(int64_t now_micros, int failure_threshold,
                                   int64_t quarantine_micros) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ++failures_;
   ++consecutive_failures_;
   if (generation_rejected_) return false;
@@ -86,39 +86,39 @@ bool ReplicaSource::RecordFailure(int64_t now_micros, int failure_threshold,
 }
 
 bool ReplicaSource::RejectGeneration() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (generation_rejected_) return false;
   generation_rejected_ = true;
   return true;
 }
 
 bool ReplicaSource::Quarantined(int64_t now_micros) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return generation_rejected_ || quarantine_until_micros_ > now_micros;
 }
 
 bool ReplicaSource::generation_rejected() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return generation_rejected_;
 }
 
 double ReplicaSource::latency_ewma_micros() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return latency_ewma_micros_;
 }
 
 int ReplicaSource::consecutive_failures() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return consecutive_failures_;
 }
 
 uint64_t ReplicaSource::successes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return successes_;
 }
 
 uint64_t ReplicaSource::failures() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return failures_;
 }
 
@@ -200,7 +200,7 @@ Result<std::shared_ptr<ReplicaSet>> ReplicaSet::Resolve(
 }
 
 uint64_t ReplicaSet::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return size_;
 }
 
@@ -314,7 +314,7 @@ Status ReplicaSet::TryCandidates(size_t index, size_t stripe_width,
 
 void ReplicaSet::SeedValidator(const BlockValidator& validator) {
   if (validator.empty()) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (agreed_set_) return;
   agreed_ = validator;
   agreed_set_ = true;
@@ -332,7 +332,7 @@ bool ReplicaSet::AgreesLocked(const BlockValidator& validator) const {
 }
 
 bool ReplicaSet::Agrees(const BlockValidator& validator) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return AgreesLocked(validator);
 }
 
@@ -350,7 +350,7 @@ std::optional<BlockValidator> ReplicaSet::Admit(
     const std::shared_ptr<ReplicaSource>& source,
     const BlockValidator& validator) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (!agreed_set_ && !validator.empty()) {
       agreed_ = validator;
       agreed_set_ = true;
@@ -374,7 +374,7 @@ std::optional<BlockValidator> ReplicaSet::AdmitUrl(
 }
 
 BlockValidator ReplicaSet::agreed_validator() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return agreed_;
 }
 
@@ -424,7 +424,7 @@ Result<HttpClient::Exchange> ReplicaSet::HeadRankedSources(
 
 void ReplicaSet::EnsureSeeded(const RequestParams& params) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (agreed_set_) return;
   }
   // Nobody answering leaves the set unseeded: the first fetched chunk's
@@ -434,7 +434,7 @@ void ReplicaSet::EnsureSeeded(const RequestParams& params) {
 
 Result<uint64_t> ReplicaSet::ResolveSize(const RequestParams& params) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (size_ != 0) return size_;
   }
   DAVIX_ASSIGN_OR_RETURN(HttpClient::Exchange exchange,
@@ -446,7 +446,7 @@ Result<uint64_t> ReplicaSet::ResolveSize(const RequestParams& params) {
         "multi-source: HEAD without usable Content-Length for " +
         primary_.ToString());
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   size_ = *length;
   return size_;
 }
@@ -571,14 +571,14 @@ Status ReplicaSet::Stream(uint64_t offset, uint64_t length,
   // hands out indices in order, so the next-needed chunk is always
   // in flight).
   struct DeliveryState {
-    std::mutex mu;
-    std::map<uint64_t, std::string> pending;
-    uint64_t next_offset = 0;
-    Status first_error = Status::OK();
+    explicit DeliveryState(uint64_t start) : next_offset(start) {}
+    Mutex mu;
+    std::map<uint64_t, std::string> pending GUARDED_BY(mu);
+    uint64_t next_offset GUARDED_BY(mu);
+    Status first_error GUARDED_BY(mu) = Status::OK();
     std::atomic<bool> failed{false};
   };
-  DeliveryState state;
-  state.next_offset = offset;
+  DeliveryState state(offset);
 
   ParallelForCancellable(
       dispatcher, chunks, parallelism, [&](size_t chunk_index) {
@@ -590,7 +590,7 @@ Status ReplicaSet::Stream(uint64_t offset, uint64_t length,
         Status status =
             FetchChunk(chunk_index, config_.max_streams, chunk_offset,
                        chunk_length, params, cache_key, cache, &data);
-        std::lock_guard<std::mutex> lock(state.mu);
+        MutexLock lock(state.mu);
         if (!state.first_error.ok()) return false;
         if (!status.ok()) {
           state.first_error = std::move(status);
@@ -613,7 +613,7 @@ Status ReplicaSet::Stream(uint64_t offset, uint64_t length,
         return true;
       });
 
-  std::lock_guard<std::mutex> lock(state.mu);
+  MutexLock lock(state.mu);
   return state.first_error;
 }
 

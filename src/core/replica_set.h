@@ -4,11 +4,11 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
 #include "common/uri.h"
 #include "core/block_cache.h"
@@ -36,8 +36,8 @@ bool ShouldFailover(const Status& status);
 /// generation rejection (ETag disagreeing with the set's agreed
 /// validator) quarantines the source for the life of the set.
 ///
-/// Thread-safety: fully thread-safe; health updates come concurrently
-/// from every chunk fetch that used this source.
+/// Thread-safe: yes — health updates come concurrently from every chunk
+/// fetch that used this source.
 class ReplicaSource {
  public:
   ReplicaSource(Uri url, int priority) : url_(std::move(url)),
@@ -82,13 +82,13 @@ class ReplicaSource {
   const Uri url_;
   const int priority_;
 
-  mutable std::mutex mu_;
-  double latency_ewma_micros_ = 0;
-  int consecutive_failures_ = 0;
-  int64_t quarantine_until_micros_ = 0;
-  bool generation_rejected_ = false;
-  uint64_t successes_ = 0;
-  uint64_t failures_ = 0;
+  mutable Mutex mu_;
+  double latency_ewma_micros_ GUARDED_BY(mu_) = 0;
+  int consecutive_failures_ GUARDED_BY(mu_) = 0;
+  int64_t quarantine_until_micros_ GUARDED_BY(mu_) = 0;
+  bool generation_rejected_ GUARDED_BY(mu_) = false;
+  uint64_t successes_ GUARDED_BY(mu_) = 0;
+  uint64_t failures_ GUARDED_BY(mu_) = 0;
 };
 
 /// Point-in-time health view of one source, for benches and tests.
@@ -160,7 +160,7 @@ using CandidateAttemptFn = std::function<Status(
 ///
 /// Ownership: holds a Context* (must outlive the set) and its own
 /// HttpClient; shared by DavFile and in-flight read-ahead fetches via
-/// shared_ptr. Thread-safety: fully thread-safe.
+/// shared_ptr. Thread-safe: yes.
 class ReplicaSet {
  public:
   /// Builds the set from an already-fetched Metalink. `primary` is
@@ -274,8 +274,8 @@ class ReplicaSet {
   /// agreed generation (ETags compared when both sides carry one; an
   /// unset agreed generation or an empty validator agrees with
   /// everything). `AgreesLocked` requires `mu_` held.
-  bool Agrees(const BlockValidator& validator) const;
-  bool AgreesLocked(const BlockValidator& validator) const;
+  bool Agrees(const BlockValidator& validator) const EXCLUDES(mu_);
+  bool AgreesLocked(const BlockValidator& validator) const REQUIRES(mu_);
 
   /// True when the cache's current generation for `cache_key` agrees
   /// with the set's — the gate a cache-probe hit must pass before its
@@ -304,10 +304,10 @@ class ReplicaSet {
   /// ReplicaSource.
   std::vector<std::shared_ptr<ReplicaSource>> sources_;
 
-  mutable std::mutex mu_;  ///< guards agreed_ + size_
-  BlockValidator agreed_;
-  bool agreed_set_ = false;
-  uint64_t size_ = 0;
+  mutable Mutex mu_;
+  BlockValidator agreed_ GUARDED_BY(mu_);
+  bool agreed_set_ GUARDED_BY(mu_) = false;
+  uint64_t size_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace core

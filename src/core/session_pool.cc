@@ -24,7 +24,7 @@ Result<std::unique_ptr<Session>> SessionPool::Acquire(
   std::string key = uri.HostPortKey();
 
   if (params.keep_alive) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = idle_.find(key);
     if (it != idle_.end()) {
       std::vector<std::unique_ptr<Session>>& bucket = it->second;
@@ -80,7 +80,7 @@ void SessionPool::Release(std::unique_ptr<Session> session) {
     return;
   }
   session->TouchLastUsed();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::unique_ptr<Session>>& bucket = idle_[session->key()];
   if (bucket.size() >= config_.max_idle_per_host) {
     stats_.discarded.fetch_add(1, std::memory_order_relaxed);
@@ -97,7 +97,7 @@ void SessionPool::Discard(std::unique_ptr<Session> session) {
 }
 
 void SessionPool::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   size_t dropped = 0;
   for (auto& [key, bucket] : idle_) dropped += bucket.size();
   idle_.clear();
@@ -106,14 +106,14 @@ void SessionPool::Clear() {
 }
 
 size_t SessionPool::IdleCount() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   size_t total = 0;
   for (const auto& [key, bucket] : idle_) total += bucket.size();
   return total;
 }
 
 size_t SessionPool::BucketCount() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return idle_.size();
 }
 

@@ -4,11 +4,11 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
 #include "common/uri.h"
 #include "core/request_params.h"
@@ -98,9 +98,8 @@ struct SessionPoolStats {
 ///
 /// Ownership: owned by the Context; sessions move out by unique_ptr on
 /// Acquire and back in on Release, so exactly one owner exists at any
-/// time. Thread-safety: fully thread-safe (one internal mutex; no call
-/// blocks on the network while holding it — fresh connects happen
-/// outside the lock).
+/// time. Thread-safe: yes (one internal mutex; no call blocks on the
+/// network while holding it — fresh connects happen outside the lock).
 class SessionPool {
  public:
   explicit SessionPool(SessionPoolConfig config = {});
@@ -134,9 +133,9 @@ class SessionPool {
 
  private:
   SessionPoolConfig config_;
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   std::unordered_map<std::string, std::vector<std::unique_ptr<Session>>>
-      idle_;
+      idle_ GUARDED_BY(mu_);
   SessionPoolStats stats_;
 };
 

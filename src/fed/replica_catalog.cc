@@ -32,7 +32,7 @@ void SortReplicas(std::vector<metalink::Replica>* replicas) {
 void ReplicaCatalog::AddReplica(std::string_view path, std::string_view url,
                                 int priority) {
   std::string key = Normalize(path);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   metalink::MetalinkFile& entry = entries_[key];
   if (entry.name.empty()) {
     size_t slash = key.rfind('/');
@@ -60,7 +60,7 @@ void ReplicaCatalog::AddReplica(std::string_view path, std::string_view url,
 void ReplicaCatalog::SetFileMeta(std::string_view path, uint64_t size,
                                  std::string_view md5_hex) {
   std::string key = Normalize(path);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   metalink::MetalinkFile& entry = entries_[key];
   entry.size = size;
   entry.md5 = std::string(md5_hex);
@@ -69,7 +69,7 @@ void ReplicaCatalog::SetFileMeta(std::string_view path, uint64_t size,
 bool ReplicaCatalog::RemoveReplica(std::string_view path,
                                    std::string_view url) {
   std::string key = Normalize(path);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = entries_.find(key);
   if (it == entries_.end()) return false;
   auto& replicas = it->second.replicas;
@@ -82,14 +82,14 @@ bool ReplicaCatalog::RemoveReplica(std::string_view path,
 }
 
 void ReplicaCatalog::Remove(std::string_view path) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   entries_.erase(Normalize(path));
 }
 
 Result<metalink::MetalinkFile> ReplicaCatalog::Lookup(
     std::string_view path) const {
   std::string key = Normalize(path);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = entries_.find(key);
   if (it == entries_.end() || it->second.replicas.empty()) {
     return Status::NotFound("no replicas registered for " + key);
@@ -100,7 +100,7 @@ Result<metalink::MetalinkFile> ReplicaCatalog::Lookup(
 }
 
 std::vector<std::string> ReplicaCatalog::Paths() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::string> out;
   out.reserve(entries_.size());
   for (const auto& [path, entry] : entries_) out.push_back(path);

@@ -3,21 +3,23 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
 #include "metalink/metalink.h"
 
 namespace davix {
 namespace fed {
 
-/// Thread-safe logical-name -> replica-set catalogue: the state behind a
-/// DynaFed-like "Dynamic Storage Federation" endpoint (§2.4). Keys are
-/// logical paths ("/atlas/events.root"); values are the Metalink fields
-/// for that resource.
+/// Logical-name -> replica-set catalogue: the state behind a DynaFed-like
+/// "Dynamic Storage Federation" endpoint (§2.4). Keys are logical paths
+/// ("/atlas/events.root"); values are the Metalink fields for that
+/// resource.
+///
+/// Thread-safe: yes — one internal mutex serialises all operations.
 class ReplicaCatalog {
  public:
   ReplicaCatalog() = default;
@@ -47,8 +49,8 @@ class ReplicaCatalog {
  private:
   static std::string Normalize(std::string_view path);
 
-  mutable std::mutex mu_;
-  std::map<std::string, metalink::MetalinkFile> entries_;
+  mutable Mutex mu_;
+  std::map<std::string, metalink::MetalinkFile> entries_ GUARDED_BY(mu_);
 };
 
 }  // namespace fed

@@ -18,7 +18,7 @@ bool ObjectStore::Put(std::string_view path, std::string data) {
   auto object = std::make_shared<StoredObject>();
   object->data = std::move(data);
   object->mtime_epoch_seconds = WallSeconds();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   object->etag = "\"dv-" + std::to_string(++etag_counter_) + "\"";
   bool existed = objects_.count(key) > 0;
   objects_[key] = std::move(object);
@@ -37,7 +37,7 @@ bool ObjectStore::Put(std::string_view path, std::string data) {
 Result<std::shared_ptr<const StoredObject>> ObjectStore::Get(
     std::string_view path) const {
   std::string key = Normalize(path);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = objects_.find(key);
   if (it == objects_.end()) {
     return Status::NotFound("no such object: " + key);
@@ -47,7 +47,7 @@ Result<std::shared_ptr<const StoredObject>> ObjectStore::Get(
 
 Status ObjectStore::Delete(std::string_view path) {
   std::string key = Normalize(path);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (objects_.erase(key) > 0) return Status::OK();
   if (collections_.count(key) > 0) {
     // Remove the collection and everything below it.
@@ -74,7 +74,7 @@ Status ObjectStore::Delete(std::string_view path) {
 
 Result<ObjectMeta> ObjectStore::Stat(std::string_view path) const {
   std::string key = Normalize(path);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = objects_.find(key);
   if (it != objects_.end()) {
     ObjectMeta meta;
@@ -94,7 +94,7 @@ Result<ObjectMeta> ObjectStore::Stat(std::string_view path) const {
 
 Status ObjectStore::MakeCollection(std::string_view path) {
   std::string key = Normalize(path);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (objects_.count(key) > 0) {
     return Status::InvalidArgument("object exists at " + key);
   }
@@ -105,7 +105,7 @@ Status ObjectStore::MakeCollection(std::string_view path) {
 Status ObjectStore::Move(std::string_view from, std::string_view to) {
   std::string from_key = Normalize(from);
   std::string to_key = Normalize(to);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = objects_.find(from_key);
   if (it == objects_.end()) {
     return Status::NotFound("no such object: " + from_key);
@@ -118,7 +118,7 @@ Status ObjectStore::Move(std::string_view from, std::string_view to) {
 Status ObjectStore::Copy(std::string_view from, std::string_view to) {
   std::string from_key = Normalize(from);
   std::string to_key = Normalize(to);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = objects_.find(from_key);
   if (it == objects_.end()) {
     return Status::NotFound("no such object: " + from_key);
@@ -130,7 +130,7 @@ Status ObjectStore::Copy(std::string_view from, std::string_view to) {
 Result<std::vector<std::string>> ObjectStore::ListChildren(
     std::string_view path) const {
   std::string key = Normalize(path);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (key != "/" && collections_.count(key) == 0) {
     return Status::NotFound("no such collection: " + key);
   }
@@ -152,12 +152,12 @@ Result<std::vector<std::string>> ObjectStore::ListChildren(
 }
 
 size_t ObjectStore::ObjectCount() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return objects_.size();
 }
 
 uint64_t ObjectStore::TotalBytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   uint64_t total = 0;
   for (const auto& [path, object] : objects_) total += object->data.size();
   return total;

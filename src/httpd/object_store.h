@@ -3,13 +3,13 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
 
 namespace davix {
@@ -31,10 +31,14 @@ struct ObjectMeta {
   bool is_collection = false;
 };
 
-/// Thread-safe in-memory object store backing the embedded HTTP server:
-/// the "Disk Pool Manager storage system" of the paper's test setup,
-/// reduced to its protocol-visible essentials (a flat namespace of
-/// immutable blobs plus WebDAV-style collections).
+/// In-memory object store backing the embedded HTTP server: the "Disk
+/// Pool Manager storage system" of the paper's test setup, reduced to
+/// its protocol-visible essentials (a flat namespace of immutable blobs
+/// plus WebDAV-style collections).
+///
+/// Thread-safe: yes — one internal mutex serialises all operations;
+/// objects are immutable, so Get hands out shared pointers that outlive
+/// the lock.
 class ObjectStore {
  public:
   ObjectStore() = default;
@@ -73,11 +77,11 @@ class ObjectStore {
  private:
   static std::string Normalize(std::string_view path);
 
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   std::unordered_map<std::string, std::shared_ptr<const StoredObject>>
-      objects_;
-  std::set<std::string> collections_;
-  uint64_t etag_counter_ = 0;
+      objects_ GUARDED_BY(mu_);
+  std::set<std::string> collections_ GUARDED_BY(mu_);
+  uint64_t etag_counter_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace httpd

@@ -34,7 +34,11 @@ Result<std::unique_ptr<HttpServer>> HttpServer::Start(
       new HttpServer(std::move(config), std::move(router)));
   DAVIX_ASSIGN_OR_RETURN(server->listener_,
                          net::TcpListener::Listen(server->config_.port));
-  server->accept_thread_ = std::thread([s = server.get()] { s->AcceptLoop(); });
+  {
+    MutexLock lock(server->stop_mu_);
+    server->accept_thread_ =
+        std::thread([s = server.get()] { s->AcceptLoop(); });
+  }
   DAVIX_LOG(kInfo) << "httpd listening on port " << server->port();
   return server;
 }
@@ -46,14 +50,19 @@ std::string HttpServer::BaseUrl() const {
 }
 
 void HttpServer::Stop() {
-  bool expected = false;
-  bool won = stopping_.compare_exchange_strong(expected, true);
+  stopping_.store(true, std::memory_order_relaxed);
+  // stop_mu_ makes concurrent Stop() calls safe: the first caller joins
+  // the accept thread (joinable() goes false under the lock), later and
+  // concurrent callers find nothing left to join but still wait here
+  // until teardown has finished before returning.
+  MutexLock lock(stop_mu_);
   if (accept_thread_.joinable()) accept_thread_.join();
-  if (!won) return;
   listener_.Close();
+  // The accept loop is down, so no new connection threads can appear
+  // after this swap.
   std::vector<std::thread> threads;
   {
-    std::lock_guard<std::mutex> lock(conn_mu_);
+    MutexLock conn_lock(conn_mu_);
     // Force-unblock connections parked in idle keep-alive reads.
     for (int fd : active_fds_) ::shutdown(fd, SHUT_RDWR);
     threads.swap(connection_threads_);
@@ -74,7 +83,7 @@ void HttpServer::AcceptLoop() {
       return;
     }
     stats_.connections_accepted.fetch_add(1, std::memory_order_relaxed);
-    std::lock_guard<std::mutex> lock(conn_mu_);
+    MutexLock lock(conn_mu_);
     connection_threads_.emplace_back(
         [this, sock = std::move(*socket)]() mutable {
           HandleConnection(std::move(sock));
@@ -96,7 +105,7 @@ bool HttpServer::CheckAuth(const http::HttpRequest& request) const {
 
 void HttpServer::HandleConnection(net::TcpSocket socket) {
   {
-    std::lock_guard<std::mutex> lock(conn_mu_);
+    MutexLock lock(conn_mu_);
     active_fds_.insert(socket.fd());
   }
   stats_.connections_active.fetch_add(1, std::memory_order_relaxed);
@@ -194,7 +203,7 @@ void HttpServer::HandleConnection(net::TcpSocket socket) {
     }
   }
   {
-    std::lock_guard<std::mutex> lock(conn_mu_);
+    MutexLock lock(conn_mu_);
     active_fds_.erase(socket.fd());
   }
   socket.Close();

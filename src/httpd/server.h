@@ -4,12 +4,12 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
 #include "net/tcp_socket.h"
 #include "netsim/fault_injector.h"
@@ -62,6 +62,10 @@ struct ServerStats {
 /// One instance models one storage node of the paper's grid; tests and
 /// benchmarks start several of them on loopback to build multi-replica
 /// topologies.
+///
+/// Thread-safe: yes — Stop() may be called from any number of threads
+/// concurrently (each returns only once teardown has completed), and the
+/// stats/fault accessors are safe while the server is serving.
 class HttpServer {
  public:
   /// Starts listening and serving. The router must outlive the server.
@@ -98,10 +102,15 @@ class HttpServer {
   ServerStats stats_;
 
   std::atomic<bool> stopping_{false};
-  std::thread accept_thread_;
-  std::mutex conn_mu_;
-  std::vector<std::thread> connection_threads_;
-  std::set<int> active_fds_;
+  /// Serialises Stop() callers: exactly one joins each thread, and every
+  /// caller returns only after teardown completed. Start()'s write of
+  /// accept_thread_ takes it too, purely for the annotation — no Stop()
+  /// can race construction.
+  Mutex stop_mu_;
+  std::thread accept_thread_ GUARDED_BY(stop_mu_);
+  Mutex conn_mu_;
+  std::vector<std::thread> connection_threads_ GUARDED_BY(conn_mu_);
+  std::set<int> active_fds_ GUARDED_BY(conn_mu_);
 };
 
 }  // namespace httpd

@@ -86,7 +86,11 @@ Result<std::unique_ptr<MuxServer>> MuxServer::Start(
       new MuxServer(std::move(config), std::move(router)));
   DAVIX_ASSIGN_OR_RETURN(server->listener_,
                          net::TcpListener::Listen(server->config_.port));
-  server->accept_thread_ = std::thread([s = server.get()] { s->AcceptLoop(); });
+  {
+    MutexLock lock(server->stop_mu_);
+    server->accept_thread_ =
+        std::thread([s = server.get()] { s->AcceptLoop(); });
+  }
   return server;
 }
 
@@ -97,14 +101,15 @@ std::string MuxServer::BaseUrl() const {
 }
 
 void MuxServer::Stop() {
-  bool expected = false;
-  bool won = stopping_.compare_exchange_strong(expected, true);
+  stopping_.store(true, std::memory_order_relaxed);
+  // Same discipline as HttpServer::Stop: stop_mu_ makes concurrent
+  // callers safe — one joins, the rest wait for teardown to finish.
+  MutexLock lock(stop_mu_);
   if (accept_thread_.joinable()) accept_thread_.join();
-  if (!won) return;
   listener_.Close();
   std::vector<std::thread> threads;
   {
-    std::lock_guard<std::mutex> lock(conn_mu_);
+    MutexLock conn_lock(conn_mu_);
     for (int fd : active_fds_) ::shutdown(fd, SHUT_RDWR);
     threads.swap(connection_threads_);
   }
@@ -121,7 +126,7 @@ void MuxServer::AcceptLoop() {
       return;
     }
     stats_.connections_accepted.fetch_add(1, std::memory_order_relaxed);
-    std::lock_guard<std::mutex> lock(conn_mu_);
+    MutexLock lock(conn_mu_);
     connection_threads_.emplace_back(
         [this, sock = std::move(*socket)]() mutable {
           HandleConnection(std::move(sock));
@@ -131,13 +136,13 @@ void MuxServer::AcceptLoop() {
 
 void MuxServer::HandleConnection(net::TcpSocket socket) {
   {
-    std::lock_guard<std::mutex> lock(conn_mu_);
+    MutexLock lock(conn_mu_);
     active_fds_.insert(socket.fd());
   }
   (void)socket.SetNoDelay(true);
   netsim::ConnectionShaper shaper(config_.link);
-  std::mutex shaper_mu;
-  std::mutex write_mu;
+  Mutex shaper_mu;
+  Mutex write_mu;
   net::BufferedReader reader(&socket, config_.idle_timeout_micros);
   ThreadPool workers(kWorkersPerConnection);
 
@@ -165,12 +170,12 @@ void MuxServer::HandleConnection(net::TcpSocket socket) {
           SerializeMuxFrame(stream_id, response.Serialize());
       netsim::ConnectionShaper::ExchangePlan plan;
       {
-        std::lock_guard<std::mutex> lock(shaper_mu);
+        MutexLock lock(shaper_mu);
         plan = shaper.PlanExchange(request_bytes,
                                    static_cast<int64_t>(wire.size()));
       }
       SleepForMicros(plan.latency_micros);
-      std::lock_guard<std::mutex> lock(write_mu);
+      MutexLock lock(write_mu);
       SleepForMicros(plan.bandwidth_micros);
       (void)socket.WriteAll(wire);
     };
@@ -178,7 +183,7 @@ void MuxServer::HandleConnection(net::TcpSocket socket) {
   }
   workers.Shutdown();
   {
-    std::lock_guard<std::mutex> lock(conn_mu_);
+    MutexLock lock(conn_mu_);
     active_fds_.erase(socket.fd());
   }
   socket.Close();
@@ -225,7 +230,7 @@ void MuxClient::ReaderLoop() {
     std::promise<Result<http::HttpResponse>> promise;
     bool found = false;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       auto it = pending_.find(frame->first);
       if (it != pending_.end()) {
         promise = std::move(it->second);
@@ -243,7 +248,7 @@ void MuxClient::FailAll(const Status& status) {
   std::unordered_map<uint32_t, std::promise<Result<http::HttpResponse>>>
       orphans;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     orphans.swap(pending_);
   }
   for (auto& [id, promise] : orphans) promise.set_value(status);
@@ -258,7 +263,7 @@ std::future<Result<http::HttpResponse>> MuxClient::ExecuteAsync(
   }
   std::future<Result<http::HttpResponse>> future;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     while (pending_.count(next_stream_id_) > 0 || next_stream_id_ == 0) {
       ++next_stream_id_;
     }

@@ -5,13 +5,13 @@
 #include <cstdint>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
 #include "http/message.h"
 #include "httpd/router.h"
@@ -62,6 +62,9 @@ struct MuxServerStats {
 /// Server side: decodes request frames, dispatches them to the same
 /// Router type the plain HTTP server uses (so a DavHandler serves both
 /// protocols), and answers out of order — no head-of-line blocking.
+///
+/// Thread-safe: yes — Stop() may be called concurrently from any number
+/// of threads; each returns only once teardown has completed.
 class MuxServer {
  public:
   static Result<std::unique_ptr<MuxServer>> Start(
@@ -89,15 +92,21 @@ class MuxServer {
   MuxServerStats stats_;
 
   std::atomic<bool> stopping_{false};
-  std::thread accept_thread_;
-  std::mutex conn_mu_;
-  std::vector<std::thread> connection_threads_;
-  std::set<int> active_fds_;
+  /// Serialises Stop() callers; Start()'s write of accept_thread_ takes
+  /// it purely for the annotation (no Stop() can race construction).
+  Mutex stop_mu_;
+  std::thread accept_thread_ GUARDED_BY(stop_mu_);
+  Mutex conn_mu_;
+  std::vector<std::thread> connection_threads_ GUARDED_BY(conn_mu_);
+  std::set<int> active_fds_ GUARDED_BY(conn_mu_);
 };
 
 /// Client side: one connection, any number of outstanding requests.
 /// Execute returns a future resolving when the matching response frame
 /// arrives, in whatever order the server finishes.
+///
+/// Thread-safe: yes — Execute/ExecuteAsync may be called from any
+/// thread; one internal mutex serialises stream allocation and writes.
 class MuxClient {
  public:
   static Result<std::unique_ptr<MuxClient>> Connect(
@@ -134,10 +143,10 @@ class MuxClient {
   std::atomic<bool> stopping_{false};
   std::atomic<uint64_t> requests_sent_{0};
 
-  std::mutex mu_;
+  Mutex mu_;
   std::unordered_map<uint32_t, std::promise<Result<http::HttpResponse>>>
-      pending_;
-  uint32_t next_stream_id_ = 1;
+      pending_ GUARDED_BY(mu_);
+  uint32_t next_stream_id_ GUARDED_BY(mu_) = 1;
 };
 
 /// Parses a complete serialised HTTP response held in memory (a mux

@@ -6,23 +6,23 @@ namespace davix {
 namespace netsim {
 
 void FaultInjector::AddRule(FaultRule rule) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   rules_.push_back(std::move(rule));
   hits_.push_back(0);
 }
 
 void FaultInjector::SetServerDown(bool down) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   server_down_ = down;
 }
 
 bool FaultInjector::server_down() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return server_down_;
 }
 
 FaultRule FaultInjector::Decide(std::string_view path) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (server_down_) {
     FaultRule down;
     down.action = FaultAction::kRefuseConnection;
@@ -43,14 +43,14 @@ FaultRule FaultInjector::Decide(std::string_view path) {
 }
 
 void FaultInjector::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   rules_.clear();
   hits_.clear();
   server_down_ = false;
 }
 
 int64_t FaultInjector::faults_fired() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return faults_fired_;
 }
 

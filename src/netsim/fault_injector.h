@@ -2,11 +2,11 @@
 #define DAVIX_NETSIM_FAULT_INJECTOR_H_
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/rng.h"
 
 namespace davix {
@@ -44,6 +44,9 @@ struct FaultRule {
 /// The paper's resilience machinery (§2.4: Metalink fail-over) is
 /// exercised by declaring replicas down or flaky through this class. All
 /// randomness is seeded, so tests and benchmarks are reproducible.
+///
+/// Thread-safe: yes — one internal mutex serialises rule mutation, the
+/// RNG, and hit counters.
 class FaultInjector {
  public:
   explicit FaultInjector(uint64_t seed = 1) : rng_(seed) {}
@@ -67,12 +70,12 @@ class FaultInjector {
   int64_t faults_fired() const;
 
  private:
-  mutable std::mutex mu_;
-  Rng rng_;
-  std::vector<FaultRule> rules_;
-  std::vector<int64_t> hits_;
-  bool server_down_ = false;
-  int64_t faults_fired_ = 0;
+  mutable Mutex mu_;
+  Rng rng_ GUARDED_BY(mu_);
+  std::vector<FaultRule> rules_ GUARDED_BY(mu_);
+  std::vector<int64_t> hits_ GUARDED_BY(mu_);
+  bool server_down_ GUARDED_BY(mu_) = false;
+  int64_t faults_fired_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace netsim

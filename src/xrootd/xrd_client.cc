@@ -50,7 +50,7 @@ void XrdClient::ReaderLoop() {
     Pending pending;
     bool found = false;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       auto it = pending_.find(frame->header.stream_id);
       if (it != pending_.end()) {
         pending = std::move(it->second);
@@ -85,7 +85,7 @@ void XrdClient::FailAll(const Status& status) {
   alive_.store(false, std::memory_order_relaxed);
   std::unordered_map<uint16_t, Pending> orphans;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     orphans.swap(pending_);
   }
   for (auto& [id, pending] : orphans) {
@@ -108,7 +108,7 @@ std::future<Result<std::string>> XrdClient::Submit(Opcode opcode, uint64_t arg,
   std::future<Result<std::string>> future;
   std::string wire;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     // Pick a free stream id (u16 wraps; skip ids still in flight).
     while (pending_.count(next_stream_id_) > 0 || next_stream_id_ == 0) {
       ++next_stream_id_;

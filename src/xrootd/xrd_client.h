@@ -5,12 +5,12 @@
 #include <cstdint>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
 #include "http/range.h"
 #include "net/buffered_reader.h"
@@ -39,6 +39,9 @@ struct OpenInfo {
 /// arrive (in any order). This is the baseline architecture the paper
 /// compares davix against: "parallel asynchronous data access on top of
 /// its own I/O multiplexing".
+///
+/// Thread-safe: yes — all calls may come from any thread; one internal
+/// mutex serialises stream allocation and frame writes.
 class XrdClient {
  public:
   static Result<std::unique_ptr<XrdClient>> Connect(
@@ -112,9 +115,9 @@ class XrdClient {
   std::atomic<bool> stopping_{false};
   std::atomic<uint64_t> requests_sent_{0};
 
-  std::mutex mu_;  // guards pending_, next_stream_id_, writes
-  std::unordered_map<uint16_t, Pending> pending_;
-  uint16_t next_stream_id_ = 1;
+  Mutex mu_;  // also serialises socket writes
+  std::unordered_map<uint16_t, Pending> pending_ GUARDED_BY(mu_);
+  uint16_t next_stream_id_ GUARDED_BY(mu_) = 1;
 };
 
 /// Slices a kReadVector response payload back into per-range strings.

@@ -34,7 +34,11 @@ Result<std::unique_ptr<XrdServer>> XrdServer::Start(
       new XrdServer(std::move(config), std::move(store)));
   DAVIX_ASSIGN_OR_RETURN(server->listener_,
                          net::TcpListener::Listen(server->config_.port));
-  server->accept_thread_ = std::thread([s = server.get()] { s->AcceptLoop(); });
+  {
+    MutexLock lock(server->stop_mu_);
+    server->accept_thread_ =
+        std::thread([s = server.get()] { s->AcceptLoop(); });
+  }
   DAVIX_LOG(kInfo) << "xrd server listening on port " << server->port();
   return server;
 }
@@ -46,14 +50,15 @@ std::string XrdServer::BaseUrl() const {
 }
 
 void XrdServer::Stop() {
-  bool expected = false;
-  bool won = stopping_.compare_exchange_strong(expected, true);
+  stopping_.store(true, std::memory_order_relaxed);
+  // Same discipline as HttpServer::Stop: stop_mu_ makes concurrent
+  // callers safe — one joins, the rest wait for teardown to finish.
+  MutexLock lock(stop_mu_);
   if (accept_thread_.joinable()) accept_thread_.join();
-  if (!won) return;
   listener_.Close();
   std::vector<std::thread> threads;
   {
-    std::lock_guard<std::mutex> lock(conn_mu_);
+    MutexLock conn_lock(conn_mu_);
     for (int fd : active_fds_) ::shutdown(fd, SHUT_RDWR);
     threads.swap(connection_threads_);
   }
@@ -70,7 +75,7 @@ void XrdServer::AcceptLoop() {
       return;
     }
     stats_.connections_accepted.fetch_add(1, std::memory_order_relaxed);
-    std::lock_guard<std::mutex> lock(conn_mu_);
+    MutexLock lock(conn_mu_);
     connection_threads_.emplace_back(
         [this, sock = std::move(*socket)]() mutable {
           HandleConnection(std::move(sock));
@@ -80,18 +85,18 @@ void XrdServer::AcceptLoop() {
 
 void XrdServer::HandleConnection(net::TcpSocket socket) {
   {
-    std::lock_guard<std::mutex> lock(conn_mu_);
+    MutexLock lock(conn_mu_);
     active_fds_.insert(socket.fd());
   }
   (void)socket.SetNoDelay(true);
 
   netsim::ConnectionShaper shaper(config_.link);
-  std::mutex shaper_mu;
-  std::mutex write_mu;
+  Mutex shaper_mu;
+  Mutex write_mu;
   net::BufferedReader reader(&socket, config_.idle_timeout_micros);
 
   // Per-connection open-file table.
-  std::mutex files_mu;
+  Mutex files_mu;
   std::unordered_map<uint32_t, std::shared_ptr<const httpd::StoredObject>>
       open_files;
   uint32_t next_handle = 1;
@@ -110,12 +115,12 @@ void XrdServer::HandleConnection(net::TcpSocket socket) {
     std::string wire = SerializeFrame(header, payload);
     netsim::ConnectionShaper::ExchangePlan plan;
     {
-      std::lock_guard<std::mutex> lock(shaper_mu);
+      MutexLock lock(shaper_mu);
       plan = shaper.PlanExchange(request_bytes,
                                  static_cast<int64_t>(wire.size()));
     }
     SleepForMicros(plan.latency_micros + extra_latency);
-    std::lock_guard<std::mutex> lock(write_mu);
+    MutexLock lock(write_mu);
     SleepForMicros(plan.bandwidth_micros);
     (void)socket.WriteAll(wire);
     stats_.bytes_served.fetch_add(wire.size(), std::memory_order_relaxed);
@@ -158,7 +163,7 @@ void XrdServer::HandleConnection(net::TcpSocket socket) {
           }
           uint32_t handle;
           {
-            std::lock_guard<std::mutex> lock(files_mu);
+            MutexLock lock(files_mu);
             handle = next_handle++;
             open_files[handle] = *object;
           }
@@ -193,7 +198,7 @@ void XrdServer::HandleConnection(net::TcpSocket socket) {
           uint64_t offset = frame.header.arg;
           std::shared_ptr<const httpd::StoredObject> object;
           {
-            std::lock_guard<std::mutex> lock(files_mu);
+            MutexLock lock(files_mu);
             auto it = open_files.find(handle);
             if (it != open_files.end()) object = it->second;
           }
@@ -223,7 +228,7 @@ void XrdServer::HandleConnection(net::TcpSocket socket) {
           auto& [handle, ranges] = *decoded;
           std::shared_ptr<const httpd::StoredObject> object;
           {
-            std::lock_guard<std::mutex> lock(files_mu);
+            MutexLock lock(files_mu);
             auto it = open_files.find(handle);
             if (it != open_files.end()) object = it->second;
           }
@@ -254,7 +259,7 @@ void XrdServer::HandleConnection(net::TcpSocket socket) {
         case Opcode::kClose: {
           if (frame.payload.size() == 4) {
             uint32_t handle = ReadU32(frame.payload.data());
-            std::lock_guard<std::mutex> lock(files_mu);
+            MutexLock lock(files_mu);
             open_files.erase(handle);
           }
           send_response(sid, RespStatus::kOk, 0, "", request_bytes, 0);
@@ -268,7 +273,7 @@ void XrdServer::HandleConnection(net::TcpSocket socket) {
   }
   workers.Shutdown();
   {
-    std::lock_guard<std::mutex> lock(conn_mu_);
+    MutexLock lock(conn_mu_);
     active_fds_.erase(socket.fd());
   }
   socket.Close();

@@ -4,13 +4,13 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
 #include "httpd/object_store.h"
 #include "net/tcp_socket.h"
@@ -52,6 +52,9 @@ struct XrdServerStats {
 ///
 /// Serves objects from the same ObjectStore type as the HTTP server, so
 /// benchmarks can point both protocols at identical content.
+///
+/// Thread-safe: yes — Stop() may be called concurrently from any number
+/// of threads; each returns only once teardown has completed.
 class XrdServer {
  public:
   static Result<std::unique_ptr<XrdServer>> Start(
@@ -84,10 +87,13 @@ class XrdServer {
   XrdServerStats stats_;
 
   std::atomic<bool> stopping_{false};
-  std::thread accept_thread_;
-  std::mutex conn_mu_;
-  std::vector<std::thread> connection_threads_;
-  std::set<int> active_fds_;
+  /// Serialises Stop() callers; Start()'s write of accept_thread_ takes
+  /// it purely for the annotation (no Stop() can race construction).
+  Mutex stop_mu_;
+  std::thread accept_thread_ GUARDED_BY(stop_mu_);
+  Mutex conn_mu_;
+  std::vector<std::thread> connection_threads_ GUARDED_BY(conn_mu_);
+  std::set<int> active_fds_ GUARDED_BY(conn_mu_);
 };
 
 }  // namespace xrootd

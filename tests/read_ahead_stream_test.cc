@@ -228,15 +228,19 @@ TEST(ReadAheadStreamTest, ConsumerOnPoolThreadDoesNotDeadlock) {
       assembled += *data;
     }
     correct.store(assembled == object.content);
-    {
-      std::lock_guard<std::mutex> lock(mu);
-      finished = true;
-    }
+    // Notify while holding the lock: the waiter cannot observe
+    // `finished`, return, and destroy the stack-allocated cv while
+    // notify_all is still touching it.
+    std::lock_guard<std::mutex> lock(mu);
+    finished = true;
     cv.notify_all();
   }));
-  std::unique_lock<std::mutex> lock(mu);
-  ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(60),
-                          [&] { return finished; }));
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(60),
+                            [&] { return finished; }));
+  }
+  pool.Shutdown();  // join the worker before cv/mu leave scope
   EXPECT_TRUE(correct.load());
 }
 
