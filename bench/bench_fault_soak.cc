@@ -1,0 +1,417 @@
+// E10 (robustness): rolling-fault soak of the end-to-end resilience
+// stack — deadlines, jittered retry budgets, Retry-After pacing, the
+// minimum-throughput stall watchdog, and the per-host circuit breaker
+// (docs/RESILIENCE.md).
+//
+// Deployment: 3 replicas behind a federation, one shared Context (one
+// session pool, one breaker registry, accumulated counters) for the
+// whole soak. Each cycle drives a mixed workload — a windowed
+// sequential scan (async read-ahead), a vectored PReadVec, and a batch
+// of partial GETs — through a rolling fault schedule on replica 0:
+//
+//   healthy  ->  503+Retry-After burst (time-windowed rule; the client
+//   paces itself on the server's hint)  ->  slow-loris body (per-read
+//   timeouts never fire; the stall watchdog aborts and fails over)  ->
+//   dead, then recovered (the breaker opens, fast-fails, and a timed
+//   half-open probe closes it again).
+//
+// Pass criteria, enforced by exit code: zero client-visible workload
+// errors, CRC-identical bytes in every phase, workload p99 under the
+// per-op deadline, and at least one breaker open -> half-open probe ->
+// close cycle plus >= 1 fast-fail, honored Retry-After, and stall
+// abort — all observed through the Context's IoCounters.
+//
+// Direct no-failover requests aimed at the dead replica are reported
+// as "shed": they are supposed to fail, and to fail fast — that is the
+// breaker doing its job — so they do not count as workload errors.
+
+#include <algorithm>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/checksum.h"
+#include "common/clock.h"
+#include "common/rng.h"
+#include "core/context.h"
+#include "core/dav_file.h"
+#include "core/dav_posix.h"
+#include "fed/federation_handler.h"
+#include "fed/replica_catalog.h"
+#include "netsim/fault_injector.h"
+
+namespace davix {
+namespace bench {
+namespace {
+
+constexpr size_t kObjectBytes = 2 * 1024 * 1024;
+constexpr char kPath[] = "/dataset/soak.bin";
+
+/// One logical operation's end-to-end budget. Workload p99 must land
+/// under this (a blown budget would first surface as an error anyway).
+constexpr int64_t kOpBudgetMicros = 20'000'000;
+/// Breaker open -> half-open probe delay used throughout the soak.
+constexpr int64_t kBreakerCooldownMicros = 400'000;
+
+struct Deployment {
+  std::vector<HttpNode> replicas;
+  std::shared_ptr<fed::ReplicaCatalog> catalog;
+  std::shared_ptr<fed::FederationHandler> federation;
+  std::shared_ptr<httpd::Router> fed_router;
+  std::unique_ptr<httpd::HttpServer> fed_server;
+};
+
+Deployment Deploy(const netsim::LinkProfile& link, const std::string& body) {
+  Deployment d;
+  d.catalog = std::make_shared<fed::ReplicaCatalog>();
+  for (int i = 0; i < 3; ++i) {
+    auto store = std::make_shared<httpd::ObjectStore>();
+    store->Put(kPath, body);
+    d.replicas.push_back(StartHttpNode(link, store));
+    d.catalog->AddReplica(kPath, d.replicas.back().UrlFor(kPath), i + 1);
+  }
+  d.catalog->SetFileMeta(kPath, body.size(), Md5::HexDigest(body));
+  d.federation = std::make_shared<fed::FederationHandler>(d.catalog);
+  d.fed_router = std::make_shared<httpd::Router>();
+  d.federation->Register(d.fed_router.get(), "/");
+  httpd::ServerConfig fed_config;
+  fed_config.link = link;
+  auto server = httpd::HttpServer::Start(fed_config, d.fed_router);
+  if (!server.ok()) std::exit(1);
+  d.fed_server = std::move(*server);
+  return d;
+}
+
+core::RequestParams SoakParams(const Deployment& d) {
+  core::RequestParams params;
+  params.metalink_resolver = d.fed_server->BaseUrl();
+  params.max_retries = 2;
+  params.total_timeout_micros = kOpBudgetMicros;
+  params.retry_jitter_seed = 7;  // deterministic backoff sequence
+  params.retry_after_max_micros = 5'000'000;
+  params.breaker_failure_threshold = 2;
+  params.breaker_cooldown_micros = kBreakerCooldownMicros;
+  params.min_throughput_bytes_per_sec = 64 * 1024;
+  params.readahead_bytes = 64 * 1024;
+  params.readahead_window_chunks = 3;
+  return params;
+}
+
+struct PhaseResult {
+  int ops = 0;
+  int errors = 0;
+  int shed = 0;
+  double seconds = 0;
+  std::vector<double> latencies_ms;
+};
+
+double Percentile(std::vector<double> values, double q) {
+  if (values.empty()) return 0;
+  std::sort(values.begin(), values.end());
+  double pos = q * static_cast<double>(values.size() - 1);
+  return values[static_cast<size_t>(pos + 0.5)];
+}
+
+/// The mixed workload of one phase: a windowed sequential scan to EOF,
+/// a vectored read of scattered fragments, and `partial_reads` ranged
+/// GETs — every one CRC/byte-verified against the canonical body and
+/// expected to succeed whatever fault the schedule currently injects
+/// (fail-over, Retry-After pacing, and the stall watchdog absorb it).
+void MixedWorkload(core::Context* context, const Deployment& d,
+                   const core::RequestParams& params, const std::string& body,
+                   int partial_reads, PhaseResult* out) {
+  core::DavPosix posix(context);
+  Stopwatch op_timer;
+  Result<int> fd = posix.Open(d.replicas[0].UrlFor(kPath), params);
+  if (!fd.ok()) {
+    std::fprintf(stderr, "soak: open failed: %s\n",
+                 fd.status().ToString().c_str());
+    out->errors += partial_reads + 2;  // the whole phase workload is lost
+    out->ops += partial_reads + 2;
+    return;
+  }
+
+  // 1. Sequential windowed scan (async read-ahead path).
+  std::string sequential;
+  bool scan_ok = true;
+  while (true) {
+    Result<std::string> part = posix.Read(*fd, 64 * 1024);
+    if (!part.ok()) {
+      std::fprintf(stderr, "soak: scan read failed: %s\n",
+                   part.status().ToString().c_str());
+      scan_ok = false;
+      break;
+    }
+    if (part->empty()) break;
+    sequential += *part;
+  }
+  if (scan_ok && Crc32(sequential) != Crc32(body)) {
+    std::fprintf(stderr, "soak: scan bytes differ from object\n");
+    scan_ok = false;
+  }
+  ++out->ops;
+  if (!scan_ok) ++out->errors;
+  out->latencies_ms.push_back(op_timer.ElapsedSeconds() * 1e3);
+
+  // 2. Vectored read of scattered fragments.
+  op_timer = Stopwatch();
+  std::vector<http::ByteRange> ranges;
+  for (uint64_t i = 0; i < 8; ++i) {
+    ranges.push_back({i * (body.size() / 8), 8 * 1024});
+  }
+  Result<std::vector<std::string>> vec = posix.PReadVec(*fd, ranges);
+  bool vec_ok = vec.ok();
+  if (vec_ok) {
+    std::string joined, expected;
+    for (const std::string& fragment : *vec) joined += fragment;
+    for (const http::ByteRange& r : ranges) {
+      expected += body.substr(r.offset, r.length);
+    }
+    vec_ok = Crc32(joined) == Crc32(expected);
+    if (!vec_ok) std::fprintf(stderr, "soak: vectored bytes differ\n");
+  } else {
+    std::fprintf(stderr, "soak: vectored read failed: %s\n",
+                 vec.status().ToString().c_str());
+  }
+  ++out->ops;
+  if (!vec_ok) ++out->errors;
+  out->latencies_ms.push_back(op_timer.ElapsedSeconds() * 1e3);
+  (void)posix.Close(*fd);
+
+  // 3. Partial ranged GETs through the fail-over walk.
+  core::DavFile file = *core::DavFile::Make(context, d.replicas[0].UrlFor(kPath));
+  for (int i = 0; i < partial_reads; ++i) {
+    constexpr uint64_t kSpan = 32 * 1024;
+    uint64_t offset =
+        (static_cast<uint64_t>(i) * 97'651) % (body.size() - kSpan);
+    op_timer = Stopwatch();
+    Result<std::string> data = file.ReadPartial(offset, kSpan, params);
+    bool ok = data.ok() && *data == body.substr(offset, kSpan);
+    if (!ok) {
+      std::string why =
+          data.ok() ? " (bytes differ)" : ": " + data.status().ToString();
+      std::fprintf(stderr, "soak: partial read %d failed%s\n", i, why.c_str());
+    }
+    ++out->ops;
+    if (!ok) ++out->errors;
+    out->latencies_ms.push_back(op_timer.ElapsedSeconds() * 1e3);
+  }
+}
+
+bool g_verify_failed = false;
+
+void ReportPhase(int cycle, const std::string& phase, const PhaseResult& r,
+                 JsonReporter* json) {
+  double p50 = Percentile(r.latencies_ms, 0.50);
+  double p99 = Percentile(r.latencies_ms, 0.99);
+  std::printf("%5d  %-19s %4d %6d %5d %9.3f %9.1f %9.1f\n", cycle,
+              phase.c_str(), r.ops, r.errors, r.shed, r.seconds, p50, p99);
+  json->AddRow()
+      .Str("phase", phase)
+      .Int("cycle", cycle)
+      .Int("ops", r.ops)
+      .Int("errors", r.errors)
+      .Int("shed", r.shed)
+      .Num("seconds", r.seconds)
+      .Num("p50_ms", p50)
+      .Num("p99_ms", p99);
+  if (r.errors != 0) g_verify_failed = true;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace davix
+
+int main(int argc, char** argv) {
+  using namespace davix;
+  using namespace davix::bench;
+  BenchArgs args = ParseBenchArgs(argc, argv);
+  PrintHeader("E10: rolling-fault soak (deadlines, jitter, breakers)",
+              "robustness of the §2.4 resilience layer under a fault schedule");
+  Rng rng(8);
+  std::string body = rng.Bytes(kObjectBytes);
+  const int cycles = args.smoke ? 1 : 2;
+  const int partial_reads = args.smoke ? 2 : 6;
+
+  Deployment d = Deploy(netsim::LinkProfile::Lan(), body);
+  core::Context context;  // shared across the whole soak: one breaker registry
+  core::RequestParams params = SoakParams(d);
+  netsim::FaultInjector& faults0 = d.replicas[0].server->faults();
+
+  JsonReporter json("fault_soak");
+  std::printf("%5s  %-19s %4s %6s %5s %9s %9s %9s\n", "cycle", "phase", "ops",
+              "errors", "shed", "time[s]", "p50[ms]", "p99[ms]");
+
+  std::vector<double> all_latencies;
+  for (int cycle = 0; cycle < cycles; ++cycle) {
+    // --- Phase 1: healthy baseline. --------------------------------------
+    {
+      faults0.Clear();
+      PhaseResult r;
+      Stopwatch phase_timer;
+      MixedWorkload(&context, d, params, body, partial_reads, &r);
+      r.seconds = phase_timer.ElapsedSeconds();
+      ReportPhase(cycle, "healthy", r, &json);
+      all_latencies.insert(all_latencies.end(), r.latencies_ms.begin(),
+                           r.latencies_ms.end());
+    }
+
+    // --- Phase 2: 503 + Retry-After burst (time-windowed rule). ----------
+    // For the first 1.2 s of the phase replica 0 answers every request
+    // with 503 and "Retry-After: 1"; the client sleeps on the server's
+    // schedule and retries into the healed window (or fails over when
+    // its retry budget runs out first). Either way: zero errors.
+    {
+      faults0.Clear();
+      netsim::FaultRule rule;
+      rule.path_prefix = kPath;
+      rule.action = netsim::FaultAction::kRetryAfter;
+      rule.retry_after_seconds = 1;
+      rule.window_start_micros = 0;
+      rule.window_end_micros = 1'200'000;
+      faults0.ResetWindowClock();
+      faults0.AddRule(rule);
+      PhaseResult r;
+      Stopwatch phase_timer;
+      MixedWorkload(&context, d, params, body, partial_reads, &r);
+      r.seconds = phase_timer.ElapsedSeconds();
+      ReportPhase(cycle, "retry-after-burst", r, &json);
+      all_latencies.insert(all_latencies.end(), r.latencies_ms.begin(),
+                           r.latencies_ms.end());
+    }
+
+    // --- Phase 3: slow-loris body. ----------------------------------------
+    // Replica 0 trickles response bodies at 4 KiB/s: every per-read
+    // timeout is met, but the 64 KiB/s stall watchdog aborts the fetch
+    // at bytes/rate + slack and the read fails over mid-stream.
+    {
+      faults0.Clear();
+      netsim::FaultRule rule;
+      rule.path_prefix = kPath;
+      rule.action = netsim::FaultAction::kSlowBody;
+      rule.body_bytes_per_sec = 4 * 1024;
+      faults0.AddRule(rule);
+      PhaseResult r;
+      Stopwatch phase_timer;
+      MixedWorkload(&context, d, params, body, partial_reads, &r);
+      r.seconds = phase_timer.ElapsedSeconds();
+      ReportPhase(cycle, "slow-loris", r, &json);
+      all_latencies.insert(all_latencies.end(), r.latencies_ms.begin(),
+                           r.latencies_ms.end());
+    }
+
+    // --- Phase 4: dead, then recovered. -----------------------------------
+    // Replica 0 refuses every request. Direct no-failover reads aimed at
+    // it drive the breaker through open (consecutive failures) and
+    // fast-fail — they are expected to fail and are counted as shed, not
+    // as errors. The replicated workload rides over the outage with zero
+    // errors. Then the replica comes back, the cooldown elapses, and a
+    // direct probe read is admitted half-open and closes the breaker.
+    {
+      faults0.Clear();
+      faults0.SetServerDown(true);
+      PhaseResult r;
+      Stopwatch phase_timer;
+
+      core::RequestParams direct = params;
+      direct.metalink_mode = core::MetalinkMode::kDisabled;
+      core::DavFile dead_file =
+          *core::DavFile::Make(&context, d.replicas[0].UrlFor(kPath));
+      for (int i = 0; i < 2; ++i) {
+        Result<std::string> data = dead_file.ReadPartial(0, 16 * 1024, direct);
+        if (!data.ok()) ++r.shed;
+      }
+
+      MixedWorkload(&context, d, params, body, partial_reads, &r);
+
+      faults0.SetServerDown(false);
+      // Let the open -> half-open cooldown elapse, then probe the
+      // recovered host directly: the probe is admitted, succeeds, and
+      // closes the breaker.
+      SleepForMicros(kBreakerCooldownMicros + 250'000);
+      core::RequestParams probe = direct;
+      probe.max_retries = 0;
+      Stopwatch op_timer;
+      Result<std::string> probed = dead_file.ReadPartial(0, 16 * 1024, probe);
+      bool probe_ok = probed.ok() && *probed == body.substr(0, 16 * 1024);
+      if (!probe_ok) {
+        std::fprintf(stderr, "soak: recovery probe failed: %s\n",
+                     probed.ok() ? "bytes differ"
+                                 : probed.status().ToString().c_str());
+        ++r.errors;
+      }
+      ++r.ops;
+      r.latencies_ms.push_back(op_timer.ElapsedSeconds() * 1e3);
+
+      r.seconds = phase_timer.ElapsedSeconds();
+      ReportPhase(cycle, "dead-then-recovered", r, &json);
+      all_latencies.insert(all_latencies.end(), r.latencies_ms.begin(),
+                           r.latencies_ms.end());
+    }
+  }
+
+  // --- Verdict: counters must show every mechanism fired. -----------------
+  IoCounters io = context.SnapshotCounters();
+  double p99_ms = Percentile(all_latencies, 0.99);
+  struct Check {
+    const char* what;
+    bool ok;
+  } checks[] = {
+      {"retry_after_honored >= 1", io.retry_after_honored >= 1},
+      {"stall_aborts >= 1", io.stall_aborts >= 1},
+      {"breaker_opens >= 1", io.breaker_opens >= 1},
+      {"breaker_half_open_probes >= 1", io.breaker_half_open_probes >= 1},
+      {"breaker_closes >= 1", io.breaker_closes >= 1},
+      {"breaker_fast_fails >= 1", io.breaker_fast_fails >= 1},
+      {"workload p99 under the op deadline",
+       p99_ms < static_cast<double>(kOpBudgetMicros) / 1e3},
+  };
+  std::printf("\nresilience counters over the soak:\n");
+  std::printf(
+      "  retries=%llu retry_after_honored=%llu stall_aborts=%llu\n"
+      "  breaker open/probe/close/fast-fail=%llu/%llu/%llu/%llu\n"
+      "  failovers=%llu quarantines=%llu deadline_expirations=%llu\n"
+      "  workload p99 = %.1f ms (budget %.0f ms)\n",
+      static_cast<unsigned long long>(io.retries),
+      static_cast<unsigned long long>(io.retry_after_honored),
+      static_cast<unsigned long long>(io.stall_aborts),
+      static_cast<unsigned long long>(io.breaker_opens),
+      static_cast<unsigned long long>(io.breaker_half_open_probes),
+      static_cast<unsigned long long>(io.breaker_closes),
+      static_cast<unsigned long long>(io.breaker_fast_fails),
+      static_cast<unsigned long long>(io.replica_failovers),
+      static_cast<unsigned long long>(io.replica_quarantines),
+      static_cast<unsigned long long>(io.deadline_expirations), p99_ms,
+      static_cast<double>(kOpBudgetMicros) / 1e3);
+  for (const Check& check : checks) {
+    if (!check.ok) {
+      std::fprintf(stderr, "soak: FAILED check: %s\n", check.what);
+      g_verify_failed = true;
+    }
+  }
+
+  json.AddRow()
+      .Str("phase", "totals")
+      .Int("retries", io.retries)
+      .Int("retry_after_honored", io.retry_after_honored)
+      .Int("stall_aborts", io.stall_aborts)
+      .Int("breaker_opens", io.breaker_opens)
+      .Int("breaker_half_open_probes", io.breaker_half_open_probes)
+      .Int("breaker_closes", io.breaker_closes)
+      .Int("breaker_fast_fails", io.breaker_fast_fails)
+      .Int("failovers", io.replica_failovers)
+      .Int("quarantines", io.replica_quarantines)
+      .Int("deadline_expirations", io.deadline_expirations)
+      .Num("p99_ms", p99_ms)
+      .Int("verified", g_verify_failed ? 0 : 1);
+
+  for (HttpNode& node : d.replicas) node.server->Stop();
+  d.fed_server->Stop();
+  json.WriteTo(args.json_path);
+  std::printf(
+      "\nexpected shape: every phase finishes with 0 errors and CRC-\n"
+      "identical bytes; the burst phase shows honored Retry-After, the\n"
+      "slow-loris phase stall aborts, and the dead phase at least one\n"
+      "breaker open -> half-open probe -> close cycle with fast-fails\n"
+      "during the outage. Exit code 1 when any of that is missing.\n");
+  return g_verify_failed ? 1 : 0;
+}

@@ -15,7 +15,12 @@ Four rules, enforced with nothing but the standard library:
      (`Submit(...)` / `ParallelFor(...)` / `ParallelForCancellable(...)`),
      a `++`/`--`/`+=`/`-=` mutation must target a counter that is
      `std::atomic` in the same file, be declared locally in the closure,
-     or happen after the closure acquired a MutexLock.
+     or happen after the closure acquired a MutexLock;
+  5. no bare `SleepForMicros` under src/core/ outside core/resilience.cc:
+     client-side retry pauses must go through core::Backoff /
+     SleepBudgeted so they are jittered and capped by the request's
+     deadline (docs/RESILIENCE.md) — a flat sleep in a retry loop is a
+     synchronized retry storm waiting to happen.
 
 Exit status 0 = clean, 1 = violations (listed on stderr).
 """
@@ -48,6 +53,10 @@ RAW_LOCKING_RE = re.compile(
 STD_THREAD_RE = re.compile(
     r"std::(thread|jthread)\b(?!::hardware_concurrency)")
 DETACH_RE = re.compile(r"\.detach\s*\(")
+BARE_SLEEP_RE = re.compile(r"\bSleepForMicros\s*\(")
+# Rule 5: the one file allowed to sleep in src/core — the sanctioned
+# jittered/budgeted pause primitives themselves.
+ALLOWED_CORE_SLEEP = {"src/core/resilience.cc"}
 DISPATCH_RE = re.compile(r"\b(Submit|ParallelFor|ParallelForCancellable)\s*\(")
 MUTATION_RE = re.compile(
     r"(?:\+\+|--)\s*([A-Za-z_]\w*)\b|\b([A-Za-z_]\w*)\s*(?:\+\+|--|\+=|-=)")
@@ -219,6 +228,13 @@ def main() -> int:
                      "work on a ThreadPool instead"))
         for lineno, message in check_mutations(path, text):
             problems.append((rel, lineno, message))
+        if rel.startswith("src/core/") and rel not in ALLOWED_CORE_SLEEP:
+            for m in BARE_SLEEP_RE.finditer(text):
+                problems.append(
+                    (rel, line_of(text, m.start()),
+                     "bare SleepForMicros in src/core — retry pauses must "
+                     "go through core::Backoff::SleepWithJitter or "
+                     "core::SleepBudgeted (deadline-capped, jittered)"))
     for path in source_files(["src", "tests", "bench", "examples"]):
         rel = str(path.relative_to(REPO_ROOT))
         text = strip_comments_and_strings(

@@ -53,11 +53,14 @@ std::string SampleStats::Summary(const std::string& unit) const {
 }
 
 std::string IoCounters::ToString() const {
-  char buf[640];
+  char buf[960];
   std::snprintf(
       buf, sizeof(buf),
       "requests=%llu rtts=%llu bytes_read=%llu bytes_written=%llu "
       "conn_opened=%llu conn_reused=%llu redirects=%llu retries=%llu "
+      "retry_after_honored=%llu deadline_expirations=%llu stall_aborts=%llu "
+      "breaker_opens=%llu breaker_closes=%llu breaker_fast_fails=%llu "
+      "breaker_half_open_probes=%llu "
       "failovers=%llu quarantines=%llu validator_rejects=%llu "
       "multisource_chunks=%llu multisource_cache_chunks=%llu "
       "vector_queries=%llu ranges=%llu cache_hits=%llu "
@@ -70,6 +73,13 @@ std::string IoCounters::ToString() const {
       static_cast<unsigned long long>(connections_reused),
       static_cast<unsigned long long>(redirects_followed),
       static_cast<unsigned long long>(retries),
+      static_cast<unsigned long long>(retry_after_honored),
+      static_cast<unsigned long long>(deadline_expirations),
+      static_cast<unsigned long long>(stall_aborts),
+      static_cast<unsigned long long>(breaker_opens),
+      static_cast<unsigned long long>(breaker_closes),
+      static_cast<unsigned long long>(breaker_fast_fails),
+      static_cast<unsigned long long>(breaker_half_open_probes),
       static_cast<unsigned long long>(replica_failovers),
       static_cast<unsigned long long>(replica_quarantines),
       static_cast<unsigned long long>(replica_validator_rejects),

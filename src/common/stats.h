@@ -42,7 +42,14 @@ struct IoCounters {
   uint64_t connections_opened = 0;
   uint64_t connections_reused = 0;
   uint64_t redirects_followed = 0;
-  uint64_t retries = 0;
+  uint64_t retries = 0;           ///< retry attempts (backoff or Retry-After)
+  uint64_t retry_after_honored = 0;///< 503/429 retries paced by Retry-After
+  uint64_t deadline_expirations = 0;///< operations aborted by total budget
+  uint64_t stall_aborts = 0;       ///< fetches aborted by the throughput watchdog
+  uint64_t breaker_opens = 0;      ///< circuit breakers tripped open
+  uint64_t breaker_closes = 0;     ///< breakers closed by a successful probe
+  uint64_t breaker_fast_fails = 0; ///< acquires refused by an open breaker
+  uint64_t breaker_half_open_probes = 0; ///< half-open probe slots handed out
   uint64_t replica_failovers = 0;
   uint64_t replica_quarantines = 0;///< replicas quarantined (health/generation)
   uint64_t replica_validator_rejects = 0; ///< responses dropped: wrong generation

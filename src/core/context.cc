@@ -39,6 +39,17 @@ IoCounters Context::SnapshotCounters() const {
   out.redirects_followed =
       stats_.redirects_followed.load(std::memory_order_relaxed);
   out.retries = stats_.retries.load(std::memory_order_relaxed);
+  out.retry_after_honored =
+      stats_.retry_after_honored.load(std::memory_order_relaxed);
+  out.deadline_expirations =
+      stats_.deadline_expirations.load(std::memory_order_relaxed);
+  out.stall_aborts = stats_.stall_aborts.load(std::memory_order_relaxed);
+  CircuitBreakerStats& breaker = pool_->breakers().stats();
+  out.breaker_opens = breaker.opens.load(std::memory_order_relaxed);
+  out.breaker_closes = breaker.closes.load(std::memory_order_relaxed);
+  out.breaker_fast_fails = breaker.fast_fails.load(std::memory_order_relaxed);
+  out.breaker_half_open_probes =
+      breaker.half_open_probes.load(std::memory_order_relaxed);
   out.replica_failovers =
       stats_.replica_failovers.load(std::memory_order_relaxed);
   out.replica_quarantines =
@@ -71,6 +82,9 @@ void Context::ResetCounters() {
   stats_.bytes_written.store(0, std::memory_order_relaxed);
   stats_.redirects_followed.store(0, std::memory_order_relaxed);
   stats_.retries.store(0, std::memory_order_relaxed);
+  stats_.retry_after_honored.store(0, std::memory_order_relaxed);
+  stats_.deadline_expirations.store(0, std::memory_order_relaxed);
+  stats_.stall_aborts.store(0, std::memory_order_relaxed);
   stats_.replica_failovers.store(0, std::memory_order_relaxed);
   stats_.replica_quarantines.store(0, std::memory_order_relaxed);
   stats_.replica_validator_rejects.store(0, std::memory_order_relaxed);
@@ -82,6 +96,11 @@ void Context::ResetCounters() {
   pool_->stats().recycled.store(0, std::memory_order_relaxed);
   pool_->stats().discarded.store(0, std::memory_order_relaxed);
   pool_->stats().expired.store(0, std::memory_order_relaxed);
+  CircuitBreakerStats& breaker = pool_->breakers().stats();
+  breaker.opens.store(0, std::memory_order_relaxed);
+  breaker.closes.store(0, std::memory_order_relaxed);
+  breaker.fast_fails.store(0, std::memory_order_relaxed);
+  breaker.half_open_probes.store(0, std::memory_order_relaxed);
   block_cache_->ResetCounters();
 }
 

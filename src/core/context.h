@@ -23,6 +23,9 @@ struct ContextStats {
   std::atomic<uint64_t> bytes_written{0};
   std::atomic<uint64_t> redirects_followed{0};
   std::atomic<uint64_t> retries{0};
+  std::atomic<uint64_t> retry_after_honored{0};
+  std::atomic<uint64_t> deadline_expirations{0};
+  std::atomic<uint64_t> stall_aborts{0};
   std::atomic<uint64_t> replica_failovers{0};
   std::atomic<uint64_t> replica_quarantines{0};
   std::atomic<uint64_t> replica_validator_rejects{0};

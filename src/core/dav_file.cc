@@ -13,6 +13,7 @@
 #include "common/thread_pool.h"
 #include "core/metalink_engine.h"
 #include "core/replica_set.h"
+#include "core/resilience.h"
 #include "core/vector_io.h"
 #include "http/multipart.h"
 #include "http/parser.h"
@@ -79,8 +80,10 @@ Result<DavFile> DavFile::Make(Context* context, const std::string& url) {
 
 template <typename T>
 Result<T> DavFile::WithFailover(
-    const RequestParams& params,
-    const std::function<Result<T>(const Uri&)>& op) {
+    const RequestParams& caller_params,
+    const std::function<Result<T>(const Uri&, const RequestParams&)>& op) {
+  RequestParams params = caller_params;
+  params.ArmDeadline();
   if (replica_set_ != nullptr &&
       params.metalink_mode != MetalinkMode::kDisabled) {
     // Resolved-set fast path: walk the health-ranked sources directly —
@@ -100,7 +103,7 @@ Result<T> DavFile::WithFailover(
       }
       first = false;
       int64_t start = MonotonicMicros();
-      Result<T> attempt = op(source->url());
+      Result<T> attempt = op(source->url(), params);
       if (attempt.ok()) {
         replica_set_->RecordSuccess(source, MonotonicMicros() - start);
         return attempt;
@@ -114,7 +117,7 @@ Result<T> DavFile::WithFailover(
                                      last.ToString());
   }
 
-  Result<T> primary = op(url_);
+  Result<T> primary = op(url_, params);
   if (primary.ok() || params.metalink_mode == MetalinkMode::kDisabled ||
       !ShouldFailover(primary.status())) {
     return primary;
@@ -135,7 +138,7 @@ Result<T> DavFile::WithFailover(
     context_->stats().replica_failovers.fetch_add(1,
                                                   std::memory_order_relaxed);
     DAVIX_LOG(kDebug) << "failing over to replica " << replica.ToString();
-    Result<T> attempt = op(replica);
+    Result<T> attempt = op(replica, params);
     if (attempt.ok()) return attempt;
     last = attempt.status();
   }
@@ -152,10 +155,11 @@ Result<std::string> DavFile::Get(const RequestParams& params) {
                       << "), falling back to plain GET";
   }
   return WithFailover<std::string>(
-      params, [&](const Uri& replica) -> Result<std::string> {
+      params,
+      [&](const Uri& replica, const RequestParams& p) -> Result<std::string> {
         DAVIX_ASSIGN_OR_RETURN(
             HttpClient::Exchange exchange,
-            client_.Execute(replica, http::Method::kGet, params));
+            client_.Execute(replica, http::Method::kGet, p));
         DAVIX_RETURN_IF_ERROR(HttpStatusToStatus(
             exchange.response.status_code, "GET " + replica.ToString()));
         return std::move(exchange.response.body);
@@ -180,10 +184,11 @@ Status DavFile::Delete(const RequestParams& params) {
 
 Result<FileInfo> DavFile::Stat(const RequestParams& params) {
   return WithFailover<FileInfo>(
-      params, [&](const Uri& replica) -> Result<FileInfo> {
+      params,
+      [&](const Uri& replica, const RequestParams& p) -> Result<FileInfo> {
         DAVIX_ASSIGN_OR_RETURN(
             HttpClient::Exchange exchange,
-            client_.Execute(replica, http::Method::kHead, params));
+            client_.Execute(replica, http::Method::kHead, p));
         DAVIX_RETURN_IF_ERROR(HttpStatusToStatus(
             exchange.response.status_code, "HEAD " + replica.ToString()));
         FileInfo info;
@@ -201,12 +206,13 @@ Result<FileInfo> DavFile::Stat(const RequestParams& params) {
 
 Result<std::string> DavFile::GetChecksum(const RequestParams& params) {
   return WithFailover<std::string>(
-      params, [&](const Uri& replica) -> Result<std::string> {
+      params,
+      [&](const Uri& replica, const RequestParams& p) -> Result<std::string> {
         http::HeaderMap headers;
         headers.Set("Want-Digest", "md5");
         DAVIX_ASSIGN_OR_RETURN(
             HttpClient::Exchange exchange,
-            client_.Execute(replica, http::Method::kHead, params,
+            client_.Execute(replica, http::Method::kHead, p,
                             std::string(), &headers));
         DAVIX_RETURN_IF_ERROR(HttpStatusToStatus(
             exchange.response.status_code, "HEAD " + replica.ToString()));
@@ -266,13 +272,16 @@ Result<std::vector<std::string>> DavFile::ReadPartialVec(
       params.metalink_mode != MetalinkMode::kDisabled) {
     // The batch dispatch fails over per batch on the resolved set (and
     // stripes batches across its sources); a top-level retry here would
-    // only repeat the same walk.
-    return ReadPartialVecAt(url_, ranges, params);
+    // only repeat the same walk. One armed deadline spans every batch.
+    RequestParams armed = params;
+    armed.ArmDeadline();
+    return ReadPartialVecAt(url_, ranges, armed);
   }
   return WithFailover<std::vector<std::string>>(
       params,
-      [&](const Uri& replica) -> Result<std::vector<std::string>> {
-        return ReadPartialVecAt(replica, ranges, params);
+      [&](const Uri& replica,
+          const RequestParams& p) -> Result<std::vector<std::string>> {
+        return ReadPartialVecAt(replica, ranges, p);
       });
 }
 
@@ -535,11 +544,31 @@ Status DavFile::FetchVecBatch(const Uri& replica,
   context_->stats().ranges_requested.fetch_add(wire_ranges.size(),
                                                std::memory_order_relaxed);
 
+  // Stall watchdog: budget this batch by its wire bytes at the minimum
+  // acceptable rate, so one trickling server aborts the batch (counted
+  // as a stall_abort) and the dispatcher fails it over instead of
+  // wedging the whole vectored read.
+  uint64_t wire_bytes = 0;
+  for (const CoalescedRange& wire : batch) wire_bytes += wire.range.length;
+  const int64_t stall_budget =
+      StallBudgetMicros(wire_bytes, params.min_throughput_bytes_per_sec);
+  RequestParams attempt_params = params;
+  if (stall_budget > 0) {
+    attempt_params.deadline = params.deadline.Tightened(stall_budget);
+  }
+
   if (did_fetch != nullptr) *did_fetch = true;
-  DAVIX_ASSIGN_OR_RETURN(
-      HttpClient::Exchange exchange,
-      client_.Execute(replica, http::Method::kGet, params, std::string(),
-                      &headers));
+  Result<HttpClient::Exchange> attempt = client_.Execute(
+      replica, http::Method::kGet, attempt_params, std::string(), &headers);
+  if (!attempt.ok()) {
+    if (stall_budget > 0 &&
+        attempt.status().code() == StatusCode::kTimeout &&
+        !params.deadline.Expired()) {
+      context_->stats().stall_aborts.fetch_add(1, std::memory_order_relaxed);
+    }
+    return attempt.status();
+  }
+  HttpClient::Exchange exchange = std::move(*attempt);
   http::HttpResponse& response = exchange.response;
 
   // Generation admission, before any byte is scattered or cached: with

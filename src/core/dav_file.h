@@ -113,10 +113,13 @@ class DavFile {
  private:
   /// Runs `op` against the primary URL, then against metalink replicas
   /// on failure (when enabled). Counts failovers in the context stats.
+  /// Arms the end-to-end deadline once and hands the armed params to
+  /// every `op` invocation, so one total_timeout_micros budget spans the
+  /// whole fail-over walk rather than restarting per replica.
   template <typename T>
   Result<T> WithFailover(
       const RequestParams& params,
-      const std::function<Result<T>(const Uri&)>& op);
+      const std::function<Result<T>(const Uri&, const RequestParams&)>& op);
 
   Result<std::vector<std::string>> ReadPartialVecAt(
       const Uri& replica, const std::vector<http::ByteRange>& ranges,

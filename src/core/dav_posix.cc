@@ -139,6 +139,11 @@ Result<std::string> DavPosix::ReadWindowed(OpenFile* file, uint64_t want) {
         return cache->TryReadFull(key, offset, length, out);
       };
     }
+    // Each in-flight chunk arms its own deadline from the (unarmed)
+    // copied params inside ReadPartial, so total_timeout_micros and
+    // min_throughput_bytes_per_sec bound every chunk independently: a
+    // wedged or trickling chunk times out (or stall-aborts) and fails
+    // over on its own, instead of stalling the whole window behind it.
     file->stream = std::make_unique<ReadAheadStream>(
         [dav, params](uint64_t offset, uint64_t length) {
           return dav->ReadPartial(offset, length, params);

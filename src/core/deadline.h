@@ -1,0 +1,81 @@
+#ifndef DAVIX_CORE_DEADLINE_H_
+#define DAVIX_CORE_DEADLINE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+
+#include "common/clock.h"
+
+namespace davix {
+namespace core {
+
+/// End-to-end monotonic budget for one logical operation. A Deadline is
+/// an absolute point on the MonotonicMicros() clock, armed once at the
+/// operation's entry point and carried by value (inside RequestParams)
+/// through every connect, write, read, retry, redirect and replica
+/// fail-over that operation makes — so a retried request can never
+/// exceed the caller's total budget, no matter how many attempts it
+/// takes. A default-constructed Deadline is unarmed and caps nothing.
+///
+/// Thread-safe: immutable after construction; share freely by copy.
+class Deadline {
+ public:
+  /// Unarmed: never expires, caps no timeout.
+  Deadline() = default;
+
+  /// A deadline `budget_micros` from now (clamped to at least 1 µs so an
+  /// armed deadline is never mistaken for the unarmed sentinel).
+  static Deadline After(int64_t budget_micros) {
+    return AtMonotonic(MonotonicMicros() + std::max<int64_t>(1, budget_micros));
+  }
+
+  /// A deadline at an absolute MonotonicMicros() instant.
+  static Deadline AtMonotonic(int64_t deadline_micros) {
+    Deadline d;
+    d.deadline_micros_ = deadline_micros;
+    return d;
+  }
+
+  bool armed() const { return deadline_micros_ != 0; }
+
+  /// Absolute MonotonicMicros() instant; 0 when unarmed (the value
+  /// net::BufferedReader::set_deadline_micros expects).
+  int64_t absolute_micros() const { return deadline_micros_; }
+
+  /// Budget left, clamped at 0. Unarmed deadlines report "unbounded".
+  int64_t RemainingMicros() const {
+    if (!armed()) return std::numeric_limits<int64_t>::max();
+    return std::max<int64_t>(0, deadline_micros_ - MonotonicMicros());
+  }
+
+  bool Expired() const { return armed() && MonotonicMicros() >= deadline_micros_; }
+
+  /// Caps a per-step timeout by the remaining budget. Follows the socket
+  /// convention that `timeout_micros <= 0` means "wait forever": an armed
+  /// deadline turns that into its remaining budget, and an expired one
+  /// returns 1 µs (an immediate-but-real timeout, never the infinite 0).
+  int64_t CapTimeout(int64_t timeout_micros) const {
+    if (!armed()) return timeout_micros;
+    int64_t remaining = std::max<int64_t>(1, RemainingMicros());
+    if (timeout_micros <= 0) return remaining;
+    return std::min(timeout_micros, remaining);
+  }
+
+  /// The tighter of this deadline and `After(budget_micros)` — how a
+  /// sized chunk fetch narrows the caller's budget to its own stall
+  /// allowance without ever widening it.
+  Deadline Tightened(int64_t budget_micros) const {
+    Deadline local = After(budget_micros);
+    if (!armed() || local.deadline_micros_ < deadline_micros_) return local;
+    return *this;
+  }
+
+ private:
+  int64_t deadline_micros_ = 0;  // 0 = unarmed
+};
+
+}  // namespace core
+}  // namespace davix
+
+#endif  // DAVIX_CORE_DEADLINE_H_

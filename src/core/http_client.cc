@@ -1,8 +1,11 @@
 #include "core/http_client.h"
 
+#include <atomic>
+
 #include "common/base64.h"
 #include "common/clock.h"
 #include "common/logging.h"
+#include "core/resilience.h"
 #include "http/parser.h"
 
 namespace davix {
@@ -11,6 +14,33 @@ namespace {
 
 bool IsIdempotent(http::Method method) {
   return method != http::Method::kPost;
+}
+
+// Longest server-dictated Retry-After pause honored when the request
+// does not override retry_after_max_micros.
+constexpr int64_t kDefaultRetryAfterMaxMicros = 30'000'000;
+
+BackoffConfig BackoffConfigFrom(const RequestParams& params) {
+  BackoffConfig config;
+  config.base_delay_micros = params.retry_delay_micros;
+  if (params.retry_backoff_max_micros > 0) {
+    config.max_delay_micros = params.retry_backoff_max_micros;
+  }
+  if (config.max_delay_micros < config.base_delay_micros) {
+    config.max_delay_micros = config.base_delay_micros;
+  }
+  return config;
+}
+
+// A fixed retry_jitter_seed reproduces the exact delay sequence; the
+// default decorrelates concurrent requests (the point of full jitter)
+// by folding a process-wide counter into the clock.
+uint64_t ResolveJitterSeed(const RequestParams& params) {
+  if (params.retry_jitter_seed != 0) return params.retry_jitter_seed;
+  static std::atomic<uint64_t> counter{0};
+  return static_cast<uint64_t>(MonotonicMicros()) ^
+         ((counter.fetch_add(1, std::memory_order_relaxed) + 1) *
+          0x9e3779b97f4a7c15ULL);
 }
 
 }  // namespace
@@ -43,18 +73,32 @@ Status HttpStatusToStatus(int code, const std::string& context) {
 }
 
 Result<HttpClient::Exchange> HttpClient::Execute(
-    const Uri& url, http::Method method, const RequestParams& params,
+    const Uri& url, http::Method method, const RequestParams& caller_params,
     std::string body, const http::HeaderMap* extra_headers) {
+  RequestParams params = caller_params;
+  params.ArmDeadline();
+  Backoff backoff(BackoffConfigFrom(params), ResolveJitterSeed(params));
   Uri current = url;
   int redirects = 0;
   int retries_used = 0;
+  Status last_error = Status::OK();
 
   while (true) {
+    if (params.deadline.Expired()) {
+      context_->stats().deadline_expirations.fetch_add(
+          1, std::memory_order_relaxed);
+      std::string msg = "deadline exceeded: " +
+                        std::string(http::MethodName(method)) + " " +
+                        current.ToString();
+      if (!last_error.ok()) msg += " (last error: " + last_error.ToString() + ")";
+      return Status::Timeout(msg);
+    }
     bool replayable = false;
     Result<http::HttpResponse> response =
         ExecuteOnce(current, method, params, body, extra_headers, &replayable);
 
     if (!response.ok()) {
+      last_error = response.status();
       if (replayable) {
         // A recycled connection died before yielding a single response
         // byte: the server closed an idle keep-alive connection under us.
@@ -65,14 +109,43 @@ Result<HttpClient::Exchange> HttpClient::Execute(
         continue;
       }
       if (response.status().IsRetryable() && IsIdempotent(method) &&
-          retries_used < params.max_retries) {
+          retries_used < params.max_retries && !params.deadline.Expired()) {
         ++retries_used;
         context_->stats().retries.fetch_add(1, std::memory_order_relaxed);
-        SleepForMicros(params.retry_delay_micros);
+        backoff.SleepWithJitter(retries_used - 1, params.deadline);
         continue;
       }
       return response.status().WithContext(
           std::string(http::MethodName(method)) + " " + current.ToString());
+    }
+
+    // A server asking us to pace off (503/429 with Retry-After) gets its
+    // wish when the wait fits the per-request cap and the remaining
+    // deadline; otherwise the response goes back to the caller as usual
+    // (fail-over decides what to do with it).
+    if ((response->status_code == 503 || response->status_code == 429) &&
+        IsIdempotent(method) && retries_used < params.max_retries) {
+      std::optional<std::string> retry_after =
+          response->headers.Get("Retry-After");
+      Result<int64_t> wait_seconds =
+          retry_after ? http::ParseRetryAfter(*retry_after, WallSeconds())
+                      : Result<int64_t>(Status::NotFound("no Retry-After"));
+      if (wait_seconds.ok()) {
+        int64_t wait_micros = *wait_seconds * 1'000'000;
+        int64_t cap = params.retry_after_max_micros > 0
+                          ? params.retry_after_max_micros
+                          : kDefaultRetryAfterMaxMicros;
+        if (wait_micros <= cap &&
+            (!params.deadline.armed() ||
+             wait_micros < params.deadline.RemainingMicros())) {
+          ++retries_used;
+          context_->stats().retries.fetch_add(1, std::memory_order_relaxed);
+          context_->stats().retry_after_honored.fetch_add(
+              1, std::memory_order_relaxed);
+          SleepBudgeted(wait_micros, params.deadline);
+          continue;
+        }
+      }
     }
 
     if (params.follow_redirects && http::IsRedirect(response->status_code)) {
@@ -102,9 +175,16 @@ Result<http::HttpResponse> HttpClient::ExecuteOnce(
     const std::string& body, const http::HeaderMap* extra_headers,
     bool* replayable) {
   *replayable = false;
+  // A fast-fail or connect failure is accounted to the breaker by the
+  // pool itself; this function reports only post-acquire outcomes, so
+  // no host is ever double-counted for one attempt.
   DAVIX_ASSIGN_OR_RETURN(std::unique_ptr<Session> session,
                          context_->pool().Acquire(url, params));
   bool recycled = session->recycled();
+  CircuitBreakerRegistry& breakers = context_->pool().breakers();
+  const std::string host_key = session->key();
+  const int64_t io_timeout =
+      params.deadline.CapTimeout(params.operation_timeout_micros);
 
   http::HttpRequest request;
   request.method = method;
@@ -134,16 +214,17 @@ Result<http::HttpResponse> HttpClient::ExecuteOnce(
   context_->stats().bytes_written.fetch_add(wire_head.size() + body.size(),
                                             std::memory_order_relaxed);
 
-  Status write_status =
-      session->socket().WriteAll(wire_head, params.operation_timeout_micros);
+  Status write_status = session->socket().WriteAll(wire_head, io_timeout);
   if (write_status.ok() && !body.empty()) {
-    write_status =
-        session->socket().WriteAll(body, params.operation_timeout_micros);
+    write_status = session->socket().WriteAll(body, io_timeout);
   }
   uint64_t consumed_before = session->reader().bytes_consumed();
   if (!write_status.ok()) {
     context_->pool().Discard(std::move(session));
     *replayable = recycled;
+    // A stale recycled connection is routine keep-alive churn, not a
+    // host-health signal; everything else counts against the breaker.
+    if (!*replayable) breakers.RecordFailure(host_key, MonotonicMicros());
     return write_status.WithContext("writing request");
   }
 
@@ -154,6 +235,7 @@ Result<http::HttpResponse> HttpClient::ExecuteOnce(
         session->reader().bytes_consumed() == consumed_before;
     context_->pool().Discard(std::move(session));
     *replayable = recycled && nothing_read;
+    if (!*replayable) breakers.RecordFailure(host_key, MonotonicMicros());
     return head.status().WithContext("reading response head");
   }
   http::HttpResponse response = std::move(*head);
@@ -161,12 +243,16 @@ Result<http::HttpResponse> HttpClient::ExecuteOnce(
       &session->reader(), method == http::Method::kHead, &response);
   if (!body_status.ok()) {
     context_->pool().Discard(std::move(session));
+    breakers.RecordFailure(host_key, MonotonicMicros());
     return body_status.WithContext("reading response body");
   }
   context_->stats().bytes_read.fetch_add(
       session->reader().bytes_consumed() - consumed_before,
       std::memory_order_relaxed);
 
+  // Any complete HTTP response — 5xx included — proves the host is
+  // talking; breaker health tracks the transport, not the status code.
+  breakers.RecordSuccess(host_key);
   session->IncrementExchanges();
   if (params.keep_alive && response.KeepsConnectionAlive()) {
     context_->pool().Release(std::move(session));

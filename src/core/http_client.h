@@ -38,6 +38,16 @@ class HttpClient {
   /// Executes `method` on `url`. Any response (including 4xx/5xx) is a
   /// successful Exchange; only transport-level failures surface as
   /// errors. `extra_headers` are appended to the generated ones.
+  ///
+  /// Resilience (docs/RESILIENCE.md): arms `params`' deadline from
+  /// total_timeout_micros and threads it through every connect, write,
+  /// read, retry and redirect, failing with kTimeout (and counting a
+  /// deadline_expiration) once the budget is gone. Retries of idempotent
+  /// methods pace with full-jitter exponential backoff (core::Backoff);
+  /// a 503/429 carrying Retry-After instead sleeps the server-requested
+  /// wait when it fits retry_after_max_micros and the remaining budget.
+  /// Exchange outcomes feed the host's circuit breaker (any complete
+  /// response is a success, transport failures count against it).
   Result<Exchange> Execute(const Uri& url, http::Method method,
                            const RequestParams& params,
                            std::string body = std::string(),

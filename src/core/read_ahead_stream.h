@@ -146,6 +146,11 @@ class ReadAheadStream {
   void TopUp();
 
   /// Blocks until `chunk`'s fetch completes and moves out its payload.
+  /// The wait itself is untimed but bounded transitively: each fetch
+  /// runs under the request's own armed deadline and stall watchdog
+  /// (RequestParams::total_timeout_micros / min_throughput_bytes_per_
+  /// sec), so a wedged or trickling chunk fails — and fails over —
+  /// inside the fetch rather than wedging this consumer forever.
   Result<std::string> WaitForChunk(const Chunk& chunk);
 
   ReadAheadFetchFn fetch_;

@@ -10,6 +10,7 @@
 #include "common/logging.h"
 #include "common/thread_pool.h"
 #include "core/metalink_engine.h"
+#include "core/resilience.h"
 #include "http/parser.h"
 #include "http/range.h"
 
@@ -215,12 +216,16 @@ std::shared_ptr<ReplicaSource> ReplicaSet::FindSource(const Uri& url) const {
 std::vector<std::shared_ptr<ReplicaSource>> ReplicaSet::RankedSources()
     const {
   int64_t now = MonotonicMicros();
-  // Healthy before quarantined; probed sources by latency EWMA; unprobed
-  // ones after, by Metalink priority then URL (deterministic ties). The
-  // key is snapshotted once per source BEFORE sorting: health state
-  // mutates concurrently (dispatcher workers record outcomes mid-sort),
-  // and a comparator re-reading live state could violate strict weak
-  // ordering — undefined behaviour in stable_sort.
+  // Healthy before quarantined before breaker-open; probed sources by
+  // latency EWMA; unprobed ones after, by Metalink priority then URL
+  // (deterministic ties). A host whose circuit breaker is open (still
+  // inside its cooldown, every acquire fast-fails) ranks below a
+  // quarantined-but-probing source: the latter may answer, the former
+  // cannot. The key is snapshotted once per source BEFORE sorting:
+  // health state mutates concurrently (dispatcher workers record
+  // outcomes mid-sort), and a comparator re-reading live state could
+  // violate strict weak ordering — undefined behaviour in stable_sort.
+  const CircuitBreakerRegistry& breakers = context_->pool().breakers();
   struct Decorated {
     std::tuple<int, int, double, int, std::string> key;
     std::shared_ptr<ReplicaSource> source;
@@ -230,9 +235,12 @@ std::vector<std::shared_ptr<ReplicaSource>> ReplicaSet::RankedSources()
   for (const std::shared_ptr<ReplicaSource>& source : sources_) {
     if (source->generation_rejected()) continue;
     double ewma = source->latency_ewma_micros();
+    int health = breakers.OpenForHost(source->url().HostPortKey(), now) ? 2
+                 : source->Quarantined(now)                             ? 1
+                                                                        : 0;
     decorated.push_back(
-        {std::make_tuple(source->Quarantined(now) ? 1 : 0, ewma == 0 ? 1 : 0,
-                         ewma, source->priority(), source->url().ToString()),
+        {std::make_tuple(health, ewma == 0 ? 1 : 0, ewma, source->priority(),
+                         source->url().ToString()),
          source});
   }
   std::stable_sort(decorated.begin(), decorated.end(),
@@ -249,9 +257,12 @@ std::vector<std::shared_ptr<ReplicaSource>> ReplicaSet::CandidatesFor(
     size_t index, size_t stripe_width) const {
   std::vector<std::shared_ptr<ReplicaSource>> candidates = RankedSources();
   int64_t now = MonotonicMicros();
+  const CircuitBreakerRegistry& breakers = context_->pool().breakers();
   size_t healthy = 0;
   while (healthy < candidates.size() &&
-         !candidates[healthy]->Quarantined(now)) {
+         !candidates[healthy]->Quarantined(now) &&
+         !breakers.OpenForHost(candidates[healthy]->url().HostPortKey(),
+                               now)) {
     ++healthy;
   }
   // Stripe rotation: concurrent slots start on different healthy
@@ -474,7 +485,14 @@ Status ReplicaSet::FetchChunk(size_t chunk_index, size_t stripe_width,
   }
 
   RequestParams chunk_params = params;
+  chunk_params.ArmDeadline();
   chunk_params.metalink_mode = MetalinkMode::kDisabled;
+  // The stall watchdog: a per-attempt deadline of "these bytes at the
+  // minimum acceptable rate, plus slack". A replica trickling the body
+  // below that rate is aborted (stall_aborts) and the chunk fails over
+  // mid-read instead of wedging the whole stream behind one slow host.
+  const int64_t stall_budget = StallBudgetMicros(
+      chunk_length, params.min_throughput_bytes_per_sec);
   http::HeaderMap headers;
   headers.Set("Range", http::FormatRangeHeader(
                            {http::ByteRange{chunk_offset, chunk_length}}));
@@ -487,10 +505,26 @@ Status ReplicaSet::FetchChunk(size_t chunk_index, size_t stripe_width,
         context_->stats().multisource_chunks.fetch_add(
             1, std::memory_order_relaxed);
         *did_fetch = true;
+        RequestParams attempt_params = chunk_params;
+        if (stall_budget > 0) {
+          attempt_params.deadline =
+              chunk_params.deadline.Tightened(stall_budget);
+        }
         Result<HttpClient::Exchange> exchange =
-            client_.Execute(source->url(), http::Method::kGet, chunk_params,
+            client_.Execute(source->url(), http::Method::kGet, attempt_params,
                             std::string(), &headers);
-        if (!exchange.ok()) return exchange.status();
+        if (!exchange.ok()) {
+          if (stall_budget > 0 &&
+              exchange.status().code() == StatusCode::kTimeout &&
+              !chunk_params.deadline.Expired()) {
+            // The tightened per-attempt budget fired, not the caller's
+            // end-to-end deadline: a stall, and the next replica gets
+            // the chunk.
+            context_->stats().stall_aborts.fetch_add(
+                1, std::memory_order_relaxed);
+          }
+          return exchange.status();
+        }
         const http::HttpResponse& response = exchange->response;
         std::string_view span;
         if (response.status_code == 206 &&
@@ -537,9 +571,13 @@ Status ReplicaSet::FetchChunk(size_t chunk_index, size_t stripe_width,
 }
 
 Status ReplicaSet::Stream(uint64_t offset, uint64_t length,
-                          const RequestParams& params,
+                          const RequestParams& caller_params,
                           const ReplicaSpanSink& sink) {
   if (length == 0) return Status::OK();
+  // One budget for the whole stream: every chunk, retry and fail-over
+  // below decrements the same armed deadline.
+  RequestParams params = caller_params;
+  params.ArmDeadline();
 
   BlockCache* cache = params.use_block_cache &&
                               context_->block_cache().enabled()

@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <string>
 
+#include "core/deadline.h"
+
 namespace davix {
 namespace core {
 
@@ -61,8 +63,46 @@ struct RequestParams {
   int max_redirects = 8;
   /// Retries on retryable transport errors (fresh connection each time).
   int max_retries = 2;
-  /// Pause between retries.
+  /// Base of the full-jitter exponential backoff between retries: retry
+  /// n sleeps a uniform draw from [0, min(cap, base * 2^n)] (see
+  /// core::Backoff and docs/RESILIENCE.md).
   int64_t retry_delay_micros = 20'000;
+
+  // --- end-to-end resilience (docs/RESILIENCE.md) ----------------------
+  /// Total wall-clock budget for one logical operation, spanning every
+  /// connect, write, read, retry, redirect and replica fail-over it
+  /// makes. Entry points arm `deadline` from this once; further layers
+  /// only narrow it. 0 (default) = no end-to-end budget (per-step
+  /// connect/operation timeouts still apply).
+  int64_t total_timeout_micros = 0;
+  /// The armed monotonic deadline carried through the layers. Normally
+  /// left unarmed by callers — ArmDeadline() sets it from
+  /// `total_timeout_micros` — but a caller holding one budget across
+  /// several operations may arm it directly.
+  Deadline deadline;
+  /// Ceiling of one jittered retry sleep. 0 = default (1 s).
+  int64_t retry_backoff_max_micros = 0;
+  /// Seed of the retry-jitter Rng, for deterministic delays under test.
+  /// 0 (default) = derive a per-call seed (decorrelated across requests).
+  uint64_t retry_jitter_seed = 0;
+  /// Longest server-sent Retry-After honored on 503/429 (also capped by
+  /// the remaining deadline); longer asks return the response to the
+  /// caller instead of sleeping. 0 = default (30 s).
+  int64_t retry_after_max_micros = 0;
+  /// Consecutive transport failures that open a host's circuit breaker
+  /// (core::CircuitBreaker, consulted by SessionPool::Acquire; open
+  /// hosts fast-fail without a connect attempt until a cooldown probe
+  /// succeeds). 0 = default (4); < 0 disables the breaker.
+  int breaker_failure_threshold = 0;
+  /// Open → half-open probe delay of the circuit breaker. 0 = default
+  /// (2 s).
+  int64_t breaker_cooldown_micros = 0;
+  /// Minimum acceptable throughput for sized chunk/batch reads (the
+  /// multi-source chunk scheduler and the vectored batch dispatch): a
+  /// fetch is given a deadline of bytes/rate plus slack, so a trickling
+  /// server is aborted (counted as a stall_abort) and the read fails
+  /// over instead of wedging. 0 (default) = no stall watchdog.
+  uint64_t min_throughput_bytes_per_sec = 0;
 
   // --- §2.2: session pool ----------------------------------------------
   /// Reuse pooled keep-alive connections. Disabling reproduces the
@@ -139,6 +179,16 @@ struct RequestParams {
   /// single-buffer behaviour. Ignored while `readahead_bytes` == 0.
   size_t readahead_window_chunks = 0;
   std::string user_agent = "libdavix-repro/1.0";
+
+  /// Arms `deadline` from `total_timeout_micros` unless already armed.
+  /// Operation entry points (HttpClient::Execute, DavFile::
+  /// ReadPartialVec, ReplicaSet::Stream, DavFile::WithFailover) call
+  /// this on their private copy so one budget spans the whole walk.
+  void ArmDeadline() {
+    if (!deadline.armed() && total_timeout_micros > 0) {
+      deadline = Deadline::After(total_timeout_micros);
+    }
+  }
 };
 
 }  // namespace core

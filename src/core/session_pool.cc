@@ -19,9 +19,51 @@ void Session::TouchLastUsed() { last_used_micros_ = MonotonicMicros(); }
 SessionPool::SessionPool(SessionPoolConfig config)
     : config_(config) {}
 
+namespace {
+
+// Connect budget when a caller zeroes RequestParams::connect_timeout_
+// micros; resolving it here keeps tcp_socket.cc's 30 s fallback a
+// never-reached last resort.
+constexpr int64_t kDefaultConnectTimeoutMicros = 15'000'000;
+
+// RequestParams breaker knobs use 0 = default, < 0 = disabled.
+CircuitBreakerConfig BreakerConfigFrom(const RequestParams& params) {
+  CircuitBreakerConfig config;
+  if (params.breaker_failure_threshold != 0) {
+    config.failure_threshold = params.breaker_failure_threshold;
+  }
+  if (params.breaker_cooldown_micros > 0) {
+    config.cooldown_micros = params.breaker_cooldown_micros;
+  }
+  return config;
+}
+
+// Applies the request's timeouts to a session about to be handed out:
+// the per-read timeout capped by the armed deadline, plus the absolute
+// deadline itself so a response trickling within the per-read timeout
+// still cannot outlive the caller's total budget. Recycled sessions get
+// this too — they must not keep their previous owner's timeouts.
+void ApplyReadBudget(Session& session, const RequestParams& params) {
+  session.reader().set_timeout_micros(
+      params.deadline.CapTimeout(params.operation_timeout_micros));
+  session.reader().set_deadline_micros(params.deadline.absolute_micros());
+}
+
+}  // namespace
+
 Result<std::unique_ptr<Session>> SessionPool::Acquire(
     const Uri& uri, const RequestParams& params) {
   std::string key = uri.HostPortKey();
+
+  switch (breakers_.Admit(key, BreakerConfigFrom(params), MonotonicMicros())) {
+    case CircuitBreaker::Decision::kFastFail:
+      // Retryable and fail-over-eligible, so callers move on to another
+      // replica without paying a connect attempt to a host known dead.
+      return Status::ConnectionFailed("circuit breaker open for " + key);
+    case CircuitBreaker::Decision::kAdmit:
+    case CircuitBreaker::Decision::kProbe:
+      break;
+  }
 
   if (params.keep_alive) {
     MutexLock lock(mu_);
@@ -41,6 +83,7 @@ Result<std::unique_ptr<Session>> SessionPool::Acquire(
         }
         if (bucket.empty()) idle_.erase(it);
         session->set_recycled(true);
+        ApplyReadBudget(*session, params);
         stats_.recycled.fetch_add(1, std::memory_order_relaxed);
         stats_.acquire_hits.fetch_add(1, std::memory_order_relaxed);
         return session;
@@ -57,17 +100,26 @@ Result<std::unique_ptr<Session>> SessionPool::Acquire(
   if (params.keep_alive) {
     stats_.acquire_misses.fetch_add(1, std::memory_order_relaxed);
   }
-  DAVIX_ASSIGN_OR_RETURN(net::SocketAddress address,
-                         net::SocketAddress::Resolve(uri.host(), uri.port()));
+  // Resolve the connect budget here rather than leaning on
+  // tcp_socket.cc's 30 s last-resort default, and never let a connect
+  // attempt spend more than the caller's remaining end-to-end budget.
+  int64_t connect_timeout = params.connect_timeout_micros > 0
+                                ? params.connect_timeout_micros
+                                : kDefaultConnectTimeoutMicros;
+  connect_timeout = params.deadline.CapTimeout(connect_timeout);
+  Result<net::SocketAddress> address =
+      net::SocketAddress::Resolve(uri.host(), uri.port());
   Result<net::TcpSocket> socket =
-      net::TcpSocket::Connect(address, params.connect_timeout_micros);
+      address.ok() ? net::TcpSocket::Connect(*address, connect_timeout)
+                   : Result<net::TcpSocket>(address.status());
   if (!socket.ok()) {
+    breakers_.RecordFailure(key, MonotonicMicros());
     return socket.status().WithContext("connecting to " + key);
   }
   (void)socket->SetNoDelay(true);
   stats_.connects.fetch_add(1, std::memory_order_relaxed);
   auto session = std::make_unique<Session>(key, std::move(*socket));
-  session->reader().set_timeout_micros(params.operation_timeout_micros);
+  ApplyReadBudget(*session, params);
   return session;
 }
 

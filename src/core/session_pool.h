@@ -12,6 +12,7 @@
 #include "common/status.h"
 #include "common/uri.h"
 #include "core/request_params.h"
+#include "core/resilience.h"
 #include "net/buffered_reader.h"
 #include "net/tcp_socket.h"
 
@@ -105,7 +106,15 @@ class SessionPool {
   explicit SessionPool(SessionPoolConfig config = {});
 
   /// Gets a session to `uri`'s host — recycled if possible, freshly
-  /// connected otherwise.
+  /// connected otherwise. Consults the host's circuit breaker first:
+  /// while it is open the acquire fast-fails with a retryable
+  /// kConnectionFailed ("circuit breaker open for <host:port>") without
+  /// touching the network, so fail-over moves to another replica
+  /// immediately. Connect failures feed the breaker here; exchange
+  /// outcomes on the acquired session are reported by HttpClient.
+  /// The connect timeout (params.connect_timeout_micros, <= 0 resolving
+  /// to 15 s) and the recycled/fresh reader timeout are both capped by
+  /// params.deadline when it is armed.
   Result<std::unique_ptr<Session>> Acquire(const Uri& uri,
                                            const RequestParams& params);
 
@@ -131,12 +140,19 @@ class SessionPool {
 
   SessionPoolStats& stats() { return stats_; }
 
+  /// The per-host circuit breakers living alongside the host buckets
+  /// (one breaker per "host:port" key, shared by every request through
+  /// this pool's Context).
+  CircuitBreakerRegistry& breakers() { return breakers_; }
+  const CircuitBreakerRegistry& breakers() const { return breakers_; }
+
  private:
   SessionPoolConfig config_;
   mutable Mutex mu_;
   std::unordered_map<std::string, std::vector<std::unique_ptr<Session>>>
       idle_ GUARDED_BY(mu_);
   SessionPoolStats stats_;
+  CircuitBreakerRegistry breakers_;
 };
 
 }  // namespace core

@@ -1,5 +1,6 @@
 #include "http/message.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <ctime>
 
@@ -186,6 +187,38 @@ Result<int64_t> ParseHttpDate(std::string_view value) {
     return Status::InvalidArgument("unparseable HTTP date: " + s);
   }
   return static_cast<int64_t>(timegm(&tm_utc));
+}
+
+Result<int64_t> ParseRetryAfter(std::string_view value,
+                                int64_t now_epoch_seconds) {
+  while (!value.empty() && (value.front() == ' ' || value.front() == '\t')) {
+    value.remove_prefix(1);
+  }
+  while (!value.empty() && (value.back() == ' ' || value.back() == '\t')) {
+    value.remove_suffix(1);
+  }
+  if (value.empty()) {
+    return Status::InvalidArgument("empty Retry-After value");
+  }
+  bool all_digits = true;
+  for (char c : value) {
+    if (c < '0' || c > '9') {
+      all_digits = false;
+      break;
+    }
+  }
+  if (all_digits) {
+    // Cap the digit count before converting so a hostile header cannot
+    // overflow; 9 digits (~31 years) is already beyond any sane wait.
+    if (value.size() > 9) {
+      return Status::InvalidArgument("Retry-After delta too large");
+    }
+    int64_t seconds = 0;
+    for (char c : value) seconds = seconds * 10 + (c - '0');
+    return seconds;
+  }
+  DAVIX_ASSIGN_OR_RETURN(int64_t date, ParseHttpDate(value));
+  return std::max<int64_t>(0, date - now_epoch_seconds);
 }
 
 }  // namespace http

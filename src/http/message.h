@@ -83,6 +83,13 @@ std::string FormatHttpDate(int64_t epoch_seconds);
 /// Parses an IMF-fixdate back to epoch seconds.
 Result<int64_t> ParseHttpDate(std::string_view value);
 
+/// Parses a Retry-After header value (RFC 9110 §10.2.3) to a wait in
+/// seconds: either delta-seconds ("120") or an HTTP-date, interpreted
+/// against `now_epoch_seconds` (a date in the past yields 0). Fails with
+/// kInvalidArgument on anything else.
+Result<int64_t> ParseRetryAfter(std::string_view value,
+                                int64_t now_epoch_seconds);
+
 }  // namespace http
 }  // namespace davix
 

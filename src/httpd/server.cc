@@ -148,12 +148,25 @@ void HttpServer::HandleConnection(net::TcpSocket socket) {
       SleepForMicros(fault.stall_micros);
       break;
     }
+    if (fault.action == netsim::FaultAction::kResetMidHeaders) {
+      // A partial status line + truncated header, then a hard close. The
+      // client has consumed bytes, so the exchange is not replayable on a
+      // recycled session: it must spend a real retry.
+      (void)socket.WriteAll("HTTP/1.1 200 OK\r\nContent-Le");
+      break;
+    }
 
     http::HttpResponse response;
     if (fault.action == netsim::FaultAction::kServerError) {
       response.status_code = 503;
       response.headers.Set("Content-Type", "text/plain");
       response.body = "injected fault\n";
+    } else if (fault.action == netsim::FaultAction::kRetryAfter) {
+      response.status_code = 503;
+      response.headers.Set("Content-Type", "text/plain");
+      response.headers.Set("Retry-After",
+                           std::to_string(fault.retry_after_seconds));
+      response.body = "injected fault: retry later\n";
     } else if (!config_.basic_auth_user.empty() && !CheckAuth(request)) {
       response.status_code = 401;
       response.headers.Set("WWW-Authenticate", "Basic realm=\"davix\"");
@@ -168,7 +181,8 @@ void HttpServer::HandleConnection(net::TcpSocket socket) {
         (request.version == "HTTP/1.0" &&
          !request.headers.ListContains("Connection", "keep-alive"));
     bool keep_alive = config_.enable_keepalive && !client_wants_close &&
-                      fault.action != netsim::FaultAction::kTruncateBody;
+                      fault.action != netsim::FaultAction::kTruncateBody &&
+                      fault.action != netsim::FaultAction::kSlowBody;
 
     response.headers.Set("Server", config_.server_name);
     response.headers.Set("Date", http::FormatHttpDate(WallSeconds()));
@@ -193,6 +207,32 @@ void HttpServer::HandleConnection(net::TcpSocket socket) {
     int64_t out_delay =
         shaper.OnResponseSend(static_cast<int64_t>(wire.size()));
     SleepForMicros(in_delay + out_delay);
+
+    if (fault.action == netsim::FaultAction::kSlowBody) {
+      // Slow loris: the header block goes out at full speed (the client
+      // commits to this response), then the body trickles at the rule's
+      // rate until done or the server stops. Closes afterwards.
+      size_t head_size = wire.size() - response.body.size();
+      if (!socket.WriteAll(std::string_view(wire).substr(0, head_size))
+               .ok()) {
+        break;
+      }
+      int64_t rate =
+          fault.body_bytes_per_sec > 0 ? fault.body_bytes_per_sec : 1;
+      // ~20 writes per second, at least 1 byte each.
+      size_t trickle = static_cast<size_t>(std::max<int64_t>(1, rate / 20));
+      size_t pos = head_size;
+      while (pos < wire.size() && !stopping_.load(std::memory_order_relaxed)) {
+        size_t n = std::min(trickle, wire.size() - pos);
+        if (!socket.WriteAll(std::string_view(wire).substr(pos, n)).ok()) {
+          break;
+        }
+        pos += n;
+        if (pos < wire.size()) SleepForMicros(50'000);
+      }
+      stats_.bytes_sent.fetch_add(pos, std::memory_order_relaxed);
+      break;
+    }
 
     if (!socket.WriteAll(wire).ok()) break;
     stats_.bytes_sent.fetch_add(wire.size(), std::memory_order_relaxed);

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/clock.h"
+
 namespace davix {
 namespace net {
 namespace {
@@ -11,14 +13,22 @@ constexpr size_t kReadChunk = 64 * 1024;
 }  // namespace
 
 Result<size_t> BufferedReader::Fill() {
+  int64_t timeout = timeout_micros_;
+  if (deadline_micros_ > 0) {
+    int64_t remaining = deadline_micros_ - MonotonicMicros();
+    if (remaining <= 0) {
+      return Status::Timeout("read deadline exceeded");
+    }
+    timeout = timeout > 0 ? std::min(timeout, remaining) : remaining;
+  }
   if (pos_ == buffer_.size()) {
     buffer_.clear();
     pos_ = 0;
   }
   size_t old_size = buffer_.size();
   buffer_.resize(old_size + kReadChunk);
-  Result<size_t> n = socket_->Read(buffer_.data() + old_size, kReadChunk,
-                                   timeout_micros_);
+  Result<size_t> n =
+      socket_->Read(buffer_.data() + old_size, kReadChunk, timeout);
   if (!n.ok()) {
     buffer_.resize(old_size);
     return n.status();

@@ -38,13 +38,23 @@ class BufferedReader {
   /// True when buffered bytes are available (no syscall).
   bool HasBuffered() const { return pos_ < buffer_.size(); }
 
-  /// Checks whether the connection is still delivering data: attempts a
-  /// non-destructive buffered read. Used by the session pool to discard
-  /// half-closed pooled connections.
+  /// Per-underlying-read timeout (0 = wait forever). The session pool
+  /// re-applies this on every acquire so a recycled connection never
+  /// keeps its previous owner's timeout.
   void set_timeout_micros(int64_t timeout_micros) {
     timeout_micros_ = timeout_micros;
   }
   int64_t timeout_micros() const { return timeout_micros_; }
+
+  /// Absolute MonotonicMicros() deadline across all reads (0 = none).
+  /// Unlike the per-read timeout — which a server can evade by trickling
+  /// one byte per interval — this bounds the total time the reader will
+  /// spend: each refill's wait is clipped to the remaining budget and a
+  /// refill past the instant fails with kTimeout.
+  void set_deadline_micros(int64_t deadline_micros) {
+    deadline_micros_ = deadline_micros;
+  }
+  int64_t deadline_micros() const { return deadline_micros_; }
 
   uint64_t bytes_consumed() const { return bytes_consumed_; }
 
@@ -54,6 +64,7 @@ class BufferedReader {
 
   ByteSource* socket_;
   int64_t timeout_micros_;
+  int64_t deadline_micros_ = 0;
   std::string buffer_;
   size_t pos_ = 0;
   uint64_t bytes_consumed_ = 0;

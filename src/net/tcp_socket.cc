@@ -15,6 +15,10 @@ namespace davix {
 namespace net {
 namespace {
 
+// Last-resort connect bound for direct TcpSocket users who pass a
+// non-positive timeout. Requests routed through core::SessionPool never
+// reach it: the pool resolves RequestParams::connect_timeout_micros
+// (default 15 s) and caps it by the request's armed deadline first.
 constexpr int64_t kDefaultConnectTimeoutMicros = 30'000'000;
 
 Status ErrnoStatus(const char* op, int err) {

@@ -21,6 +21,11 @@ bool FaultInjector::server_down() const {
   return server_down_;
 }
 
+void FaultInjector::ResetWindowClock() {
+  MutexLock lock(mu_);
+  epoch_micros_ = MonotonicMicros();
+}
+
 FaultRule FaultInjector::Decide(std::string_view path) {
   MutexLock lock(mu_);
   if (server_down_) {
@@ -29,9 +34,15 @@ FaultRule FaultInjector::Decide(std::string_view path) {
     ++faults_fired_;
     return down;
   }
+  int64_t elapsed = MonotonicMicros() - epoch_micros_;
   for (size_t i = 0; i < rules_.size(); ++i) {
     FaultRule& rule = rules_[i];
     if (rule.action == FaultAction::kNone) continue;
+    if (rule.window_end_micros > 0 &&
+        (elapsed < rule.window_start_micros ||
+         elapsed >= rule.window_end_micros)) {
+      continue;
+    }
     if (!StartsWith(path, rule.path_prefix)) continue;
     if (rule.max_hits >= 0 && hits_[i] >= rule.max_hits) continue;
     if (rule.probability < 1.0 && !rng_.Chance(rule.probability)) continue;

@@ -6,6 +6,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/clock.h"
 #include "common/mutex.h"
 #include "common/rng.h"
 
@@ -25,11 +26,26 @@ enum class FaultAction {
   /// Stall for the configured delay, then close without answering
   /// (client-visible as a timeout).
   kStall,
+  /// Slow-loris body: send the response headers at full speed, then
+  /// trickle the body at `body_bytes_per_sec`, then close. Exercises
+  /// per-read timeouts that never fire (each trickle arrives in time)
+  /// against the client's minimum-throughput stall watchdog.
+  kSlowBody,
+  /// Answer 503 Service Unavailable with a `Retry-After:
+  /// <retry_after_seconds>` header — the server-paced backoff hint the
+  /// client honors on idempotent retries.
+  kRetryAfter,
+  /// Send a partial status line / header block, then close mid-headers.
+  /// The client sees a connection reset with bytes already consumed, so
+  /// the exchange is NOT replayable on a recycled session — it must
+  /// burn a real retry.
+  kResetMidHeaders,
 };
 
 /// One fault rule: requests whose path starts with `path_prefix` suffer
 /// `action` with probability `probability`, for at most `max_hits`
-/// occurrences (-1 = unlimited).
+/// occurrences (-1 = unlimited), inside the rule's time window (both
+/// bounds 0 = always armed).
 struct FaultRule {
   std::string path_prefix;
   FaultAction action = FaultAction::kNone;
@@ -37,6 +53,17 @@ struct FaultRule {
   int64_t max_hits = -1;
   /// Used by kStall.
   int64_t stall_micros = 0;
+  /// Used by kSlowBody: body trickle rate (0 = a very slow 1 byte/s).
+  int64_t body_bytes_per_sec = 0;
+  /// Used by kRetryAfter: the advertised wait.
+  int64_t retry_after_seconds = 1;
+  /// Burst window, in micros relative to the injector's epoch (its
+  /// construction, or the last ResetWindowClock call). A rule with
+  /// window_end_micros > 0 only fires while start <= elapsed < end —
+  /// the building block of rolling fault schedules (healthy phase, 503
+  /// burst, slow-loris phase, ...) in the soak harness.
+  int64_t window_start_micros = 0;
+  int64_t window_end_micros = 0;
 };
 
 /// Deterministic failure injection for the embedded servers.
@@ -50,6 +77,11 @@ struct FaultRule {
 class FaultInjector {
  public:
   explicit FaultInjector(uint64_t seed = 1) : rng_(seed) {}
+
+  /// Restarts the epoch that rule time windows are measured against.
+  /// Call at the start of a scheduled fault phase so window offsets are
+  /// relative to "now" rather than injector construction.
+  void ResetWindowClock();
 
   /// Adds a rule. Rules are evaluated in insertion order; the first match
   /// that fires wins.
@@ -76,6 +108,7 @@ class FaultInjector {
   std::vector<int64_t> hits_ GUARDED_BY(mu_);
   bool server_down_ GUARDED_BY(mu_) = false;
   int64_t faults_fired_ GUARDED_BY(mu_) = 0;
+  int64_t epoch_micros_ GUARDED_BY(mu_) = MonotonicMicros();
 };
 
 }  // namespace netsim

@@ -4,11 +4,14 @@
 // takes a valid artefact, flips/truncates/splices random bytes, and
 // feeds the result to the parser.
 
+#include "common/clock.h"
 #include "common/rng.h"
 #include "compress/codec.h"
+#include "http/message.h"
 #include "http/multipart.h"
 #include "http/range.h"
 #include "metalink/metalink.h"
+#include "netsim/fault_injector.h"
 #include "root/tree_format.h"
 #include "test_util.h"
 #include "xml/xml.h"
@@ -183,6 +186,98 @@ TEST_P(RangeFuzzTest, ArbitraryHeaderValuesNeverCrash) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RangeFuzzTest,
+                         ::testing::Range<uint64_t>(1, 9));
+
+class RetryAfterFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RetryAfterFuzzTest, ArbitraryHeaderValuesNeverCrashOrGoNegative) {
+  Rng rng(GetParam());
+  const int64_t now = 1'000'000'000;  // epoch seconds, fixed for the test
+  for (int round = 0; round < 200; ++round) {
+    // Mix of near-valid delta-seconds, near-valid HTTP-dates, and wild
+    // bytes.
+    std::string value;
+    switch (rng.Below(3)) {
+      case 0:
+        value = std::to_string(rng.Below(1'000'000));
+        if (rng.Chance(0.3)) value += rng.Bytes(1 + rng.Below(4));
+        if (rng.Chance(0.3)) value = " " + value + "\t";
+        break;
+      case 1:
+        value = http::FormatHttpDate(
+            now + static_cast<int64_t>(rng.Below(100'000)) - 50'000);
+        if (rng.Chance(0.4)) value = Corrupt(value, &rng);
+        break;
+      default:
+        value = rng.Bytes(rng.Below(40));
+    }
+    Result<int64_t> seconds = http::ParseRetryAfter(value, now);
+    // Whatever parses must be a usable non-negative wait.
+    if (seconds.ok()) {
+      EXPECT_GE(*seconds, 0) << "value: " << value;
+    }
+  }
+  // Deterministic anchors of the two grammars.
+  EXPECT_EQ(*http::ParseRetryAfter("120", now), 120);
+  EXPECT_EQ(*http::ParseRetryAfter(" 7 ", now), 7);
+  EXPECT_EQ(*http::ParseRetryAfter(http::FormatHttpDate(now + 90), now), 90);
+  // A date in the past means "retry now", never a negative sleep.
+  EXPECT_EQ(*http::ParseRetryAfter(http::FormatHttpDate(now - 90), now), 0);
+  EXPECT_FALSE(http::ParseRetryAfter("", now).ok());
+  EXPECT_FALSE(http::ParseRetryAfter("soon", now).ok());
+  EXPECT_FALSE(http::ParseRetryAfter("-5", now).ok());
+  EXPECT_FALSE(http::ParseRetryAfter("99999999999", now).ok());  // overflow
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RetryAfterFuzzTest,
+                         ::testing::Range<uint64_t>(1, 9));
+
+class FaultWindowFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FaultWindowFuzzTest, RandomWindowedRulesNeverCrashAndGateCorrectly) {
+  Rng rng(GetParam());
+  netsim::FaultInjector injector(GetParam());
+  // A rule whose window is far in the future must never fire; a rule
+  // with an open-ended window (end == 0) always may.
+  netsim::FaultRule future;
+  future.path_prefix = "/";
+  future.action = netsim::FaultAction::kServerError;
+  future.window_start_micros = 3'600'000'000;  // an hour from the epoch
+  future.window_end_micros = 7'200'000'000;
+  injector.AddRule(future);
+  // Random junk rules: arbitrary windows, probabilities, hit caps.
+  for (int i = 0; i < 10; ++i) {
+    netsim::FaultRule rule;
+    rule.path_prefix = rng.Chance(0.5) ? "/" : std::string(rng.Bytes(3));
+    rule.action = static_cast<netsim::FaultAction>(rng.Below(8));
+    rule.probability = rng.Chance(0.5) ? 1.0 : 0.3;
+    rule.max_hits = rng.Chance(0.5) ? -1 : static_cast<int64_t>(rng.Below(4));
+    rule.window_start_micros = static_cast<int64_t>(rng.Below(2));
+    rule.window_end_micros =
+        rng.Chance(0.5) ? 0 : static_cast<int64_t>(rng.Below(100));
+    injector.AddRule(rule);
+  }
+  for (int round = 0; round < 300; ++round) {
+    netsim::FaultRule fired = injector.Decide("/some/path");
+    // The far-future windowed rule can never be the one that fires.
+    EXPECT_LT(fired.window_start_micros, 3'600'000'000);
+  }
+  // Rewinding the epoch re-arms relative windows deterministically: a
+  // [0, 10 s) rule fires right after a reset.
+  injector.Clear();
+  netsim::FaultRule burst;
+  burst.path_prefix = "/";
+  burst.action = netsim::FaultAction::kRetryAfter;
+  burst.retry_after_seconds = 2;
+  burst.window_end_micros = 10'000'000;
+  injector.AddRule(burst);
+  injector.ResetWindowClock();
+  netsim::FaultRule fired = injector.Decide("/f");
+  EXPECT_EQ(fired.action, netsim::FaultAction::kRetryAfter);
+  EXPECT_EQ(fired.retry_after_seconds, 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FaultWindowFuzzTest,
                          ::testing::Range<uint64_t>(1, 9));
 
 }  // namespace

@@ -1,13 +1,17 @@
 // Deadline and limit behaviour across the stack: operation timeouts on
-// stalled servers, connect timeouts, shaper maths properties, and store
-// concurrency — the paths that only show up when something is slow.
+// stalled servers, connect timeouts, end-to-end deadlines, jittered
+// retry backoff, Retry-After pacing, per-host circuit breakers, shaper
+// maths properties, and store concurrency — the paths that only show up
+// when something is slow or down.
 
 #include <thread>
 
 #include "common/clock.h"
 #include "common/rng.h"
 #include "core/context.h"
+#include "core/dav_file.h"
 #include "core/http_client.h"
+#include "core/resilience.h"
 #include "muxhttp/mux.h"
 #include "netsim/shaper.h"
 #include "test_util.h"
@@ -72,6 +76,249 @@ TEST(TimeoutTest, RetriesRespectBudgetAndDelay) {
       *Uri::Parse(server.UrlFor("/f")), http::Method::kGet, params);
   ASSERT_FALSE(result.ok());
   EXPECT_EQ(context.SnapshotCounters().retries, 3u);
+}
+
+// ------------------------------------------------- end-to-end resilience
+
+TEST(DeadlineTest, UnarmedCapsNothingArmedCapsEverything) {
+  core::Deadline unarmed;
+  EXPECT_FALSE(unarmed.armed());
+  EXPECT_FALSE(unarmed.Expired());
+  EXPECT_EQ(unarmed.CapTimeout(5'000), 5'000);
+  EXPECT_EQ(unarmed.CapTimeout(0), 0);  // 0 stays "infinite" when unarmed
+
+  core::Deadline armed = core::Deadline::After(200'000);
+  EXPECT_TRUE(armed.armed());
+  EXPECT_FALSE(armed.Expired());
+  // An "infinite" per-step timeout becomes the remaining budget...
+  int64_t capped = armed.CapTimeout(0);
+  EXPECT_GT(capped, 0);
+  EXPECT_LE(capped, 200'000);
+  // ...and a finite one is only ever narrowed.
+  EXPECT_LE(armed.CapTimeout(50'000), 50'000);
+
+  // Expired deadlines cap to a 1 µs immediate-but-real timeout, never 0.
+  core::Deadline past = core::Deadline::AtMonotonic(MonotonicMicros() - 1);
+  EXPECT_TRUE(past.Expired());
+  EXPECT_EQ(past.CapTimeout(0), 1);
+  EXPECT_EQ(past.RemainingMicros(), 0);
+
+  // Tightened never widens the caller's budget.
+  core::Deadline tight = armed.Tightened(10'000);
+  EXPECT_LE(tight.absolute_micros(), armed.absolute_micros());
+  core::Deadline not_wider = armed.Tightened(10'000'000);
+  EXPECT_EQ(not_wider.absolute_micros(), armed.absolute_micros());
+}
+
+TEST(BackoffTest, DeterministicSeededJitterWithinEnvelope) {
+  core::BackoffConfig config;
+  config.base_delay_micros = 10'000;
+  config.max_delay_micros = 80'000;
+  config.multiplier = 2.0;
+  core::Backoff a(config, /*seed=*/99);
+  core::Backoff b(config, /*seed=*/99);
+  core::Backoff c(config, /*seed=*/100);
+  bool any_differs = false;
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    int64_t delay_a = a.NextDelayMicros(attempt);
+    int64_t delay_b = b.NextDelayMicros(attempt);
+    int64_t delay_c = c.NextDelayMicros(attempt);
+    // Same seed, same sequence.
+    EXPECT_EQ(delay_a, delay_b) << "attempt " << attempt;
+    if (delay_a != delay_c) any_differs = true;
+    // Full jitter: within [0, min(cap, base * 2^attempt)].
+    int64_t envelope = attempt >= 3 ? 80'000 : 10'000 << attempt;
+    EXPECT_GE(delay_a, 0) << "attempt " << attempt;
+    EXPECT_LE(delay_a, envelope) << "attempt " << attempt;
+  }
+  // Different seeds decorrelate (the whole point of the jitter).
+  EXPECT_TRUE(any_differs);
+}
+
+TEST(CircuitBreakerTest, StateMachineWithExplicitClock) {
+  core::CircuitBreakerConfig config;
+  config.failure_threshold = 3;
+  config.cooldown_micros = 1'000'000;
+  core::CircuitBreaker breaker(config);
+  int64_t now = 1'000'000'000;
+
+  // Failures below the threshold keep admitting.
+  EXPECT_EQ(breaker.Admit(now), core::CircuitBreaker::Decision::kAdmit);
+  EXPECT_FALSE(breaker.RecordFailure(now));
+  EXPECT_FALSE(breaker.RecordFailure(now));
+  EXPECT_EQ(breaker.Admit(now), core::CircuitBreaker::Decision::kAdmit);
+  // A success resets the streak...
+  breaker.RecordSuccess();
+  EXPECT_FALSE(breaker.RecordFailure(now));
+  EXPECT_FALSE(breaker.RecordFailure(now));
+  // ...so it takes a fresh run of 3 to open.
+  EXPECT_TRUE(breaker.RecordFailure(now));
+  EXPECT_EQ(breaker.state(now), core::CircuitBreaker::State::kOpen);
+
+  // Open: fast-fail until the cooldown elapses.
+  EXPECT_EQ(breaker.Admit(now + 1), core::CircuitBreaker::Decision::kFastFail);
+  EXPECT_EQ(breaker.Admit(now + 999'999),
+            core::CircuitBreaker::Decision::kFastFail);
+
+  // Half-open: exactly one probe slot.
+  now += 1'000'001;
+  EXPECT_EQ(breaker.state(now), core::CircuitBreaker::State::kHalfOpen);
+  EXPECT_EQ(breaker.Admit(now), core::CircuitBreaker::Decision::kProbe);
+  EXPECT_EQ(breaker.Admit(now + 1), core::CircuitBreaker::Decision::kFastFail);
+
+  // A failed probe re-arms the cooldown; a stale probe's slot is handed
+  // out again after another cooldown.
+  EXPECT_FALSE(breaker.RecordFailure(now + 2));  // reopen, not newly open
+  now += 1'000'003;
+  EXPECT_EQ(breaker.Admit(now), core::CircuitBreaker::Decision::kProbe);
+  now += 1'000'000;  // probe never reported: goes stale
+  EXPECT_EQ(breaker.Admit(now), core::CircuitBreaker::Decision::kProbe);
+  // A successful probe closes the breaker for good.
+  EXPECT_TRUE(breaker.RecordSuccess());
+  EXPECT_EQ(breaker.state(now), core::CircuitBreaker::State::kClosed);
+  EXPECT_EQ(breaker.Admit(now), core::CircuitBreaker::Decision::kAdmit);
+}
+
+TEST(DeadlineTest, DeadlineBoundsRetryLoop) {
+  TestStorageServer server = StartStorageServer();
+  server.store->Put("/f", "x");
+  server.server->faults().SetServerDown(true);
+  core::Context context;
+  core::HttpClient client(&context);
+  core::RequestParams params;
+  // A generous retry budget that the 250 ms total budget must cut short.
+  params.max_retries = 50;
+  params.retry_delay_micros = 50'000;
+  params.total_timeout_micros = 250'000;
+  Stopwatch stopwatch;
+  Result<core::HttpClient::Exchange> result = client.Execute(
+      *Uri::Parse(server.UrlFor("/f")), http::Method::kGet, params);
+  ASSERT_FALSE(result.ok());
+  // Almost always the loop-top deadline check fires (kTimeout, counted
+  // as a deadline expiration); in the rare race where the budget runs
+  // out mid-attempt, the last transport error surfaces instead. Either
+  // way the 250 ms budget must cut the 50-retry loop short.
+  EXPECT_TRUE(result.status().code() == StatusCode::kTimeout ||
+              result.status().IsRetryable())
+      << result.status().ToString();
+  EXPECT_LT(stopwatch.ElapsedSeconds(), 2.0);
+  EXPECT_LT(context.SnapshotCounters().retries, 50u);
+}
+
+TEST(RetryAfterTest, HonoredOnIdempotent503) {
+  TestStorageServer server = StartStorageServer();
+  server.store->Put("/f", "payload");
+  netsim::FaultRule rule;
+  rule.path_prefix = "/f";
+  rule.action = netsim::FaultAction::kRetryAfter;
+  rule.retry_after_seconds = 1;
+  rule.max_hits = 1;  // heal after one 503
+  server.server->faults().AddRule(rule);
+
+  core::Context context;
+  core::HttpClient client(&context);
+  core::RequestParams params;
+  params.max_retries = 2;
+  Stopwatch stopwatch;
+  ASSERT_OK_AND_ASSIGN(
+      auto exchange, client.Execute(*Uri::Parse(server.UrlFor("/f")),
+                                    http::Method::kGet, params));
+  EXPECT_EQ(exchange.response.status_code, 200);
+  EXPECT_EQ(exchange.response.body, "payload");
+  // The client actually paced itself on the server's hint.
+  EXPECT_GE(stopwatch.ElapsedSeconds(), 0.9);
+  EXPECT_EQ(context.SnapshotCounters().retry_after_honored, 1u);
+}
+
+TEST(RetryAfterTest, WaitLongerThanDeadlineReturnsThe503) {
+  TestStorageServer server = StartStorageServer();
+  server.store->Put("/f", "payload");
+  netsim::FaultRule rule;
+  rule.path_prefix = "/f";
+  rule.action = netsim::FaultAction::kRetryAfter;
+  rule.retry_after_seconds = 30;
+  server.server->faults().AddRule(rule);
+
+  core::Context context;
+  core::HttpClient client(&context);
+  core::RequestParams params;
+  params.max_retries = 2;
+  params.total_timeout_micros = 300'000;  // 30 s wait >> 0.3 s budget
+  Stopwatch stopwatch;
+  ASSERT_OK_AND_ASSIGN(
+      auto exchange, client.Execute(*Uri::Parse(server.UrlFor("/f")),
+                                    http::Method::kGet, params));
+  // Sleeping would blow the deadline, so the 503 goes to the caller now.
+  EXPECT_EQ(exchange.response.status_code, 503);
+  EXPECT_LT(stopwatch.ElapsedSeconds(), 1.0);
+  EXPECT_EQ(context.SnapshotCounters().retry_after_honored, 0u);
+}
+
+TEST(CircuitBreakerTest, FastFailsWhileOpenAndRecoversViaProbe) {
+  TestStorageServer server = StartStorageServer();
+  server.store->Put("/f", "back");
+  server.server->faults().SetServerDown(true);
+  core::Context context;
+  core::HttpClient client(&context);
+  core::RequestParams params;
+  params.max_retries = 0;
+  params.breaker_failure_threshold = 2;
+  params.breaker_cooldown_micros = 200'000;
+  Uri uri = *Uri::Parse(server.UrlFor("/f"));
+
+  // Two real failures open the breaker...
+  EXPECT_FALSE(client.Execute(uri, http::Method::kGet, params).ok());
+  EXPECT_FALSE(client.Execute(uri, http::Method::kGet, params).ok());
+  // ...after which the acquire fast-fails without touching the network.
+  Stopwatch stopwatch;
+  Result<core::HttpClient::Exchange> shed =
+      client.Execute(uri, http::Method::kGet, params);
+  ASSERT_FALSE(shed.ok());
+  EXPECT_EQ(shed.status().code(), StatusCode::kConnectionFailed);
+  EXPECT_NE(shed.status().ToString().find("circuit breaker"),
+            std::string::npos);
+  EXPECT_LT(stopwatch.ElapsedSeconds(), 0.1);
+  IoCounters mid = context.SnapshotCounters();
+  EXPECT_EQ(mid.breaker_opens, 1u);
+  EXPECT_GE(mid.breaker_fast_fails, 1u);
+  EXPECT_EQ(mid.breaker_closes, 0u);
+
+  // Server recovers; once the cooldown elapses the half-open probe is
+  // admitted, succeeds, and closes the breaker.
+  server.server->faults().SetServerDown(false);
+  SleepForMicros(250'000);
+  ASSERT_OK_AND_ASSIGN(auto exchange,
+                       client.Execute(uri, http::Method::kGet, params));
+  EXPECT_EQ(exchange.response.status_code, 200);
+  EXPECT_EQ(exchange.response.body, "back");
+  IoCounters io = context.SnapshotCounters();
+  EXPECT_GE(io.breaker_half_open_probes, 1u);
+  EXPECT_EQ(io.breaker_closes, 1u);
+}
+
+TEST(StallWatchdogTest, SlowLorisBodyAbortsByThroughputFloor) {
+  TestStorageServer server = StartStorageServer();
+  server.store->Put("/f", std::string(16 * 1024, 'z'));
+  netsim::FaultRule rule;
+  rule.path_prefix = "/f";
+  rule.action = netsim::FaultAction::kSlowBody;
+  rule.body_bytes_per_sec = 2048;  // ~8 s for the body at this trickle
+  server.server->faults().AddRule(rule);
+
+  core::Context context;
+  core::DavFile file = *core::DavFile::Make(&context, server.UrlFor("/f"));
+  core::RequestParams params;
+  params.max_retries = 0;
+  params.metalink_mode = core::MetalinkMode::kDisabled;
+  params.min_throughput_bytes_per_sec = 64 * 1024;  // budget ~0.45 s
+  Stopwatch stopwatch;
+  Result<std::vector<std::string>> result =
+      file.ReadPartialVec({{0, 16 * 1024}}, params);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kTimeout);
+  // Aborted by the watchdog budget, nowhere near the 8 s trickle.
+  EXPECT_LT(stopwatch.ElapsedSeconds(), 3.0);
+  EXPECT_GE(context.SnapshotCounters().stall_aborts, 1u);
 }
 
 TEST(TimeoutTest, XrdClientTimesOutOnStalledServer) {
