@@ -349,6 +349,64 @@ int main(int argc, char** argv) {
     }
   }
 
+  // --- Phase 5: admission-control overload (server-side shed path). -------
+  // Unlike the injected 503 burst above, here the *server's own*
+  // admission control sheds: replica 0's dispatch backlog is clamped to
+  // zero, so every request it parses is answered 503 + Retry-After by
+  // the overload machinery in src/httpd/server.cc. Direct no-failover
+  // reads must honor the hint (retry_after_honored rises) before giving
+  // up — counted as shed, like phase 4's breaker fast-fails — while the
+  // replicated workload rides over the shedding replica with zero
+  // errors. Restoring the backlog restores direct service.
+  uint64_t admission_sheds = 0;
+  uint64_t admission_honored_delta = 0;
+  {
+    PhaseResult r;
+    Stopwatch phase_timer;
+    uint64_t honored_before = context.SnapshotCounters().retry_after_honored;
+    uint64_t server_shed_before =
+        d.replicas[0].server->stats().requests_shed.load();
+    d.replicas[0].server->SetMaxDispatchBacklog(0);
+
+    core::RequestParams overload = params;
+    overload.max_retries = 1;
+    overload.retry_after_max_micros = 1'200'000;
+    core::RequestParams direct = overload;
+    direct.metalink_mode = core::MetalinkMode::kDisabled;
+    core::DavFile shed_file =
+        *core::DavFile::Make(&context, d.replicas[0].UrlFor(kPath));
+    for (int i = 0; i < 2; ++i) {
+      Result<std::string> data = shed_file.ReadPartial(0, 16 * 1024, direct);
+      if (!data.ok()) ++r.shed;
+    }
+    MixedWorkload(&context, d, overload, body, partial_reads, &r);
+
+    d.replicas[0].server->SetMaxDispatchBacklog(256);
+    // The shed burst may have opened the breaker on replica 0; let the
+    // half-open cooldown elapse so the recovery probe is admitted.
+    SleepForMicros(kBreakerCooldownMicros + 250'000);
+    Stopwatch op_timer;
+    Result<std::string> probed = shed_file.ReadPartial(0, 16 * 1024, direct);
+    bool probe_ok = probed.ok() && *probed == body.substr(0, 16 * 1024);
+    if (!probe_ok) {
+      std::fprintf(stderr, "soak: post-overload probe failed: %s\n",
+                   probed.ok() ? "bytes differ"
+                               : probed.status().ToString().c_str());
+      ++r.errors;
+    }
+    ++r.ops;
+    r.latencies_ms.push_back(op_timer.ElapsedSeconds() * 1e3);
+
+    admission_sheds = d.replicas[0].server->stats().requests_shed.load() -
+                      server_shed_before;
+    admission_honored_delta =
+        context.SnapshotCounters().retry_after_honored - honored_before;
+    r.seconds = phase_timer.ElapsedSeconds();
+    ReportPhase(cycles, "admission-overload", r, &json);
+    all_latencies.insert(all_latencies.end(), r.latencies_ms.begin(),
+                         r.latencies_ms.end());
+  }
+
   // --- Verdict: counters must show every mechanism fired. -----------------
   IoCounters io = context.SnapshotCounters();
   double p99_ms = Percentile(all_latencies, 0.99);
@@ -364,6 +422,9 @@ int main(int argc, char** argv) {
       {"breaker_fast_fails >= 1", io.breaker_fast_fails >= 1},
       {"workload p99 under the op deadline",
        p99_ms < static_cast<double>(kOpBudgetMicros) / 1e3},
+      {"server admission control shed >= 1 request", admission_sheds >= 1},
+      {"retry_after_honored rose under admission shedding",
+       admission_honored_delta >= 1},
   };
   std::printf("\nresilience counters over the soak:\n");
   std::printf(
@@ -398,6 +459,8 @@ int main(int argc, char** argv) {
       .Int("breaker_half_open_probes", io.breaker_half_open_probes)
       .Int("breaker_closes", io.breaker_closes)
       .Int("breaker_fast_fails", io.breaker_fast_fails)
+      .Int("admission_sheds", admission_sheds)
+      .Int("admission_retry_after_honored", admission_honored_delta)
       .Int("failovers", io.replica_failovers)
       .Int("quarantines", io.replica_quarantines)
       .Int("deadline_expirations", io.deadline_expirations)

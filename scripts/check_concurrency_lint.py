@@ -20,7 +20,14 @@ Four rules, enforced with nothing but the standard library:
      client-side retry pauses must go through core::Backoff /
      SleepBudgeted so they are jittered and capped by the request's
      deadline (docs/RESILIENCE.md) — a flat sleep in a retry loop is a
-     synchronized retry storm waiting to happen.
+     synchronized retry storm waiting to happen;
+  6. the httpd server is a single-reactor design (docs/SERVER.md):
+     connection state is touched only from the reactor thread or from
+     worker-pool tasks that communicate through completions, so inside
+     src/httpd/ only server.{h,cc} may even mention std::thread, and
+     server.cc may construct exactly one (the reactor). A second thread
+     in that directory means somebody is sharing ServerConnection
+     across threads again.
 
 Exit status 0 = clean, 1 = violations (listed on stderr).
 """
@@ -36,7 +43,7 @@ SKIP_DIRS = {"build", "build-debug", ".git"}
 ALLOWED_STD_THREAD = {
     "src/common/thread_pool.h",    # the pool owns its workers
     "src/common/thread_pool.cc",
-    "src/httpd/server.h",          # thread-per-connection (accept + conns)
+    "src/httpd/server.h",          # the single reactor thread (rule 6)
     "src/httpd/server.cc",
     "src/muxhttp/mux.h",           # accept/conn threads + client reader loop
     "src/muxhttp/mux.cc",
@@ -228,6 +235,22 @@ def main() -> int:
                      "work on a ThreadPool instead"))
         for lineno, message in check_mutations(path, text):
             problems.append((rel, lineno, message))
+        if rel.startswith("src/httpd/"):
+            if rel in ("src/httpd/server.h", "src/httpd/server.cc"):
+                constructions = re.findall(r"std::thread\s*\(", text)
+                if rel.endswith(".cc") and len(constructions) > 1:
+                    problems.append(
+                        (rel, 1,
+                         f"{len(constructions)} std::thread constructions — "
+                         "the reactor design allows exactly one; route "
+                         "other work through the worker ThreadPool"))
+            else:
+                for m in STD_THREAD_RE.finditer(text):
+                    problems.append(
+                        (rel, line_of(text, m.start()),
+                         "std::thread in src/httpd outside server.{h,cc} — "
+                         "connection state is reactor-owned; use the "
+                         "worker pool + completions instead"))
         if rel.startswith("src/core/") and rel not in ALLOWED_CORE_SLEEP:
             for m in BARE_SLEEP_RE.finditer(text):
                 problems.append(

@@ -47,6 +47,15 @@ class ThreadPool {
     return executed_.load(std::memory_order_relaxed);
   }
 
+  /// Queued-or-running tasks right now — the admission-control signal
+  /// the reactor server sheds load on. Both counters are monotonic, and
+  /// executed trails submitted, so the subtraction cannot wrap.
+  uint64_t backlog() const {
+    uint64_t submitted = tasks_submitted();
+    uint64_t executed = tasks_executed();
+    return submitted > executed ? submitted - executed : 0;
+  }
+
  private:
   void WorkerLoop();
 

@@ -1,0 +1,133 @@
+#ifndef DAVIX_HTTPD_CONNECTION_H_
+#define DAVIX_HTTPD_CONNECTION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "http/message.h"
+#include "net/tcp_socket.h"
+#include "netsim/shaper.h"
+
+namespace davix {
+namespace httpd {
+
+/// Lifecycle of one reactor-owned connection.
+///
+/// kReading accumulates request bytes; kDispatched means the current
+/// request is on the worker pool; kWriting flushes the (shaped) response;
+/// kLingering has nothing left to say — it holds the fd open briefly
+/// after a Connection: close response (so the bytes outrun the RST a
+/// hard close could trigger) or during an injected silent stall.
+enum class ConnState {
+  kReading,
+  kDispatched,
+  kWriting,
+  kLingering,
+};
+
+/// Outcome of one incremental parse attempt over a connection's input.
+enum class AssembleOutcome {
+  /// The buffer does not yet hold a complete request.
+  kNeedMore,
+  /// A full request was parsed and consumed from the buffer.
+  kReady,
+  /// Request line or header block exceeds the configured bound -> 431.
+  kHeaderTooLarge,
+  /// Declared or chunk-encoded body exceeds the configured bound -> 413.
+  kBodyTooLarge,
+  /// Not HTTP. The connection is dropped without a response.
+  kMalformed,
+};
+
+/// Incremental HTTP/1.1 request assembler for non-blocking reads.
+///
+/// The reactor appends whatever recv() produced to a connection's input
+/// buffer and calls Poll(); the assembler re-scans the buffered prefix
+/// and either consumes one complete request or reports why it cannot.
+/// It holds no state between calls, so abandoning a connection mid-parse
+/// needs no cleanup, and request-size limits (the 431/413 contract) are
+/// enforced on the buffered bytes before anything is parsed.
+class RequestAssembler {
+ public:
+  /// Request-size bounds; see ServerConfig for the knobs behind them.
+  struct Limits {
+    size_t max_request_line_bytes = 8 * 1024;
+    size_t max_header_bytes = 64 * 1024;
+    uint64_t max_body_bytes = 1024ull * 1024 * 1024;
+  };
+
+  explicit RequestAssembler(Limits limits) : limits_(limits) {}
+
+  /// Attempts to assemble one request from the front of `buf`. On
+  /// kReady the request's bytes are erased from `buf`, `out` holds the
+  /// parsed request and `wire_bytes` its on-the-wire size. `head_done`
+  /// reports whether the header block is already complete — the signal
+  /// that separates a header-read timeout from a body-read stall.
+  AssembleOutcome Poll(std::string* buf, http::HttpRequest* out,
+                       size_t* wire_bytes, bool* head_done) const;
+
+ private:
+  Limits limits_;
+};
+
+/// Per-connection state owned exclusively by the server's reactor
+/// thread. Worker-pool tasks never touch it — they communicate through
+/// value-type completions the reactor collects — so none of this needs
+/// locking.
+struct ServerConnection {
+  ServerConnection(uint64_t id_in, net::TcpSocket socket_in,
+                   netsim::LinkProfile link, RequestAssembler::Limits limits)
+      : id(id_in),
+        socket(std::move(socket_in)),
+        shaper(std::move(link)),
+        assembler(limits) {}
+
+  uint64_t id = 0;
+  net::TcpSocket socket;
+  netsim::ConnectionShaper shaper;
+  RequestAssembler assembler;
+  ConnState state = ConnState::kReading;
+
+  /// Input side.
+  std::string in_buf;
+  bool peer_eof = false;
+  bool head_done = false;
+  bool first_request = true;
+  /// Wire size of the request currently dispatched (shaping input).
+  int64_t request_bytes = 0;
+
+  /// Output side. `out_eligible` trails `out.size()` only while an
+  /// injected slow-body fault trickles the payload out.
+  std::string out;
+  size_t out_pos = 0;
+  size_t out_eligible = 0;
+  bool close_after_write = false;
+  /// Half-close and hold after the response instead of a hard close.
+  bool linger_after_write = false;
+  /// Whether finishing the current response counts as completing a
+  /// parsed request (431/413 rejections answer unparsed garbage).
+  bool counts_completed = false;
+  size_t trickle_step = 0;
+  int64_t next_trickle_at = 0;
+
+  /// Timers, absolute µs on the monotonic clock (0 = unarmed).
+  int64_t write_ready_at = 0;
+  int64_t last_byte_at = 0;
+  int64_t request_started_at = 0;
+  int64_t write_progress_at = 0;
+  int64_t close_at = 0;
+
+  /// Current epoll interest, mirrored to avoid redundant epoll_ctl.
+  bool read_interest = true;
+  bool write_interest = false;
+
+  /// Whether this connection was admitted (counted in
+  /// connections_active) as opposed to accepted only to be shed.
+  bool counted_active = false;
+};
+
+}  // namespace httpd
+}  // namespace davix
+
+#endif  // DAVIX_HTTPD_CONNECTION_H_

@@ -14,7 +14,7 @@ namespace httpd {
 
 /// A request handler fills in `response`; the server owns framing,
 /// keep-alive and shaping. Handlers must be thread-safe: the server calls
-/// them concurrently from connection threads.
+/// them concurrently from its worker pool.
 using HandlerFn =
     std::function<void(const http::HttpRequest& request,
                        http::HttpResponse* response)>;

@@ -1,0 +1,140 @@
+#include "net/poller.h"
+
+#include <errno.h>
+#include <string.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <algorithm>
+
+namespace davix {
+namespace net {
+namespace {
+
+Status ErrnoStatus(const char* op, int err) {
+  return Status::IoError(std::string(op) + ": " + strerror(err));
+}
+
+uint32_t InterestMask(bool readable, bool writable) {
+  uint32_t mask = 0;
+  if (readable) mask |= EPOLLIN;
+  if (writable) mask |= EPOLLOUT;
+  return mask;
+}
+
+}  // namespace
+
+Poller::~Poller() { Close(); }
+
+Poller::Poller(Poller&& other) noexcept
+    : epoll_fd_(other.epoll_fd_), wake_fd_(other.wake_fd_) {
+  other.epoll_fd_ = -1;
+  other.wake_fd_ = -1;
+}
+
+Poller& Poller::operator=(Poller&& other) noexcept {
+  if (this != &other) {
+    Close();
+    epoll_fd_ = other.epoll_fd_;
+    wake_fd_ = other.wake_fd_;
+    other.epoll_fd_ = -1;
+    other.wake_fd_ = -1;
+  }
+  return *this;
+}
+
+void Poller::Close() {
+  if (epoll_fd_ >= 0) {
+    ::close(epoll_fd_);
+    epoll_fd_ = -1;
+  }
+  if (wake_fd_ >= 0) {
+    ::close(wake_fd_);
+    wake_fd_ = -1;
+  }
+}
+
+Result<Poller> Poller::Create() {
+  Poller poller;
+  poller.epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (poller.epoll_fd_ < 0) return ErrnoStatus("epoll_create1", errno);
+  poller.wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (poller.wake_fd_ < 0) return ErrnoStatus("eventfd", errno);
+  epoll_event ev = {};
+  ev.events = EPOLLIN;
+  ev.data.u64 = kWakeupKey;
+  if (::epoll_ctl(poller.epoll_fd_, EPOLL_CTL_ADD, poller.wake_fd_, &ev) !=
+      0) {
+    return ErrnoStatus("epoll_ctl(ADD wakeup)", errno);
+  }
+  return poller;
+}
+
+Status Poller::Add(int fd, uint64_t key, bool readable, bool writable) {
+  epoll_event ev = {};
+  ev.events = InterestMask(readable, writable);
+  ev.data.u64 = key;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+    return ErrnoStatus("epoll_ctl(ADD)", errno);
+  }
+  return Status::OK();
+}
+
+Status Poller::Modify(int fd, uint64_t key, bool readable, bool writable) {
+  epoll_event ev = {};
+  ev.events = InterestMask(readable, writable);
+  ev.data.u64 = key;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) != 0) {
+    return ErrnoStatus("epoll_ctl(MOD)", errno);
+  }
+  return Status::OK();
+}
+
+void Poller::Remove(int fd) {
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+}
+
+Result<size_t> Poller::Wait(std::vector<Event>* out, int64_t timeout_micros) {
+  out->clear();
+  epoll_event raw[128];
+  int timeout_ms =
+      timeout_micros < 0
+          ? -1
+          : static_cast<int>(
+                std::min<int64_t>((timeout_micros + 999) / 1000, 1 << 30));
+  int n;
+  while (true) {
+    n = ::epoll_wait(epoll_fd_, raw, 128, timeout_ms);
+    if (n >= 0) break;
+    if (errno == EINTR) continue;
+    return ErrnoStatus("epoll_wait", errno);
+  }
+  out->reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    if (raw[i].data.u64 == kWakeupKey) {
+      uint64_t drained = 0;
+      // Non-blocking eventfd: swallow the accumulated wake count.
+      ssize_t rc = ::read(wake_fd_, &drained, sizeof(drained));
+      (void)rc;
+      continue;
+    }
+    Event event;
+    event.key = raw[i].data.u64;
+    event.readable = (raw[i].events & (EPOLLIN | EPOLLRDHUP)) != 0;
+    event.writable = (raw[i].events & EPOLLOUT) != 0;
+    event.error = (raw[i].events & (EPOLLERR | EPOLLHUP)) != 0;
+    out->push_back(event);
+  }
+  return out->size();
+}
+
+void Poller::Wakeup() {
+  if (wake_fd_ < 0) return;
+  uint64_t one = 1;
+  ssize_t rc = ::write(wake_fd_, &one, sizeof(one));
+  (void)rc;
+}
+
+}  // namespace net
+}  // namespace davix

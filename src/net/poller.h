@@ -1,0 +1,77 @@
+#ifndef DAVIX_NET_POLLER_H_
+#define DAVIX_NET_POLLER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace davix {
+namespace net {
+
+/// RAII wrapper around an epoll instance plus an eventfd wake channel —
+/// the readiness core of the reactor-style httpd server (and of the
+/// many-client load harness, which drives thousands of sockets from a
+/// handful of driver threads).
+///
+/// Level-triggered. Each registered fd carries a caller-chosen 64-bit
+/// key that comes back in the events; the key `kWakeupKey` is reserved
+/// for the internal eventfd.
+///
+/// Thread-safe: no, except Wakeup() — any thread may call Wakeup() to
+/// make a concurrent or future Wait() return early; everything else is
+/// owned by the loop thread.
+class Poller {
+ public:
+  /// One readiness notification. `error` reports EPOLLERR/EPOLLHUP —
+  /// the fd is dead or half-dead and should usually be closed.
+  struct Event {
+    uint64_t key = 0;
+    bool readable = false;
+    bool writable = false;
+    bool error = false;
+  };
+
+  /// Reserved key for the internal wake eventfd; never reported.
+  static constexpr uint64_t kWakeupKey = ~0ull;
+
+  Poller() = default;
+  ~Poller();
+
+  Poller(Poller&& other) noexcept;
+  Poller& operator=(Poller&& other) noexcept;
+  Poller(const Poller&) = delete;
+  Poller& operator=(const Poller&) = delete;
+
+  /// Creates the epoll instance and its wake eventfd.
+  static Result<Poller> Create();
+
+  bool IsOpen() const { return epoll_fd_ >= 0; }
+  void Close();
+
+  /// Registers `fd` with interest in read/write readiness.
+  Status Add(int fd, uint64_t key, bool readable, bool writable);
+
+  /// Updates the interest set of a registered fd.
+  Status Modify(int fd, uint64_t key, bool readable, bool writable);
+
+  /// Deregisters `fd`. Safe to call for fds epoll already forgot.
+  void Remove(int fd);
+
+  /// Waits up to `timeout_micros` (<0 = forever, 0 = poll) and appends
+  /// ready events to `out` (cleared first). Returns the event count;
+  /// 0 means the wait timed out or was woken by Wakeup().
+  Result<size_t> Wait(std::vector<Event>* out, int64_t timeout_micros);
+
+  /// Wakes a blocked (or the next) Wait(). Callable from any thread.
+  void Wakeup();
+
+ private:
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+};
+
+}  // namespace net
+}  // namespace davix
+
+#endif  // DAVIX_NET_POLLER_H_

@@ -136,6 +136,50 @@ Status TcpSocket::WriteAll(std::string_view data, int64_t timeout_micros) {
   return Status::OK();
 }
 
+Status TcpSocket::SetNonBlocking(bool enabled) {
+  if (!IsOpen()) return Status::ConnectionReset("fcntl on closed socket");
+  int flags = fcntl(fd_, F_GETFL, 0);
+  if (flags < 0) return ErrnoStatus("fcntl(F_GETFL)", errno);
+  int wanted = enabled ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (fcntl(fd_, F_SETFL, wanted) != 0) {
+    return ErrnoStatus("fcntl(F_SETFL)", errno);
+  }
+  return Status::OK();
+}
+
+Result<size_t> TcpSocket::ReadNonBlocking(char* buf, size_t len) {
+  if (!IsOpen()) return Status::ConnectionReset("read on closed socket");
+  while (true) {
+    ssize_t n = ::recv(fd_, buf, len, MSG_DONTWAIT);
+    if (n >= 0) return static_cast<size_t>(n);
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return Status::Timeout("read would block");
+    }
+    if (errno == ECONNRESET) {
+      return Status::ConnectionReset("connection reset by peer");
+    }
+    return ErrnoStatus("recv", errno);
+  }
+}
+
+Result<size_t> TcpSocket::WriteSome(std::string_view data) {
+  if (!IsOpen()) return Status::ConnectionReset("write on closed socket");
+  while (true) {
+    ssize_t n =
+        ::send(fd_, data.data(), data.size(), MSG_NOSIGNAL | MSG_DONTWAIT);
+    if (n >= 0) return static_cast<size_t>(n);
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return Status::Timeout("write would block");
+    }
+    if (errno == EPIPE || errno == ECONNRESET) {
+      return Status::ConnectionReset("peer closed during write");
+    }
+    return ErrnoStatus("send", errno);
+  }
+}
+
 Status TcpSocket::SetNoDelay(bool enabled) {
   int value = enabled ? 1 : 0;
   if (setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &value, sizeof(value)) != 0) {
@@ -216,6 +260,30 @@ Result<TcpSocket> TcpListener::Accept(int64_t timeout_micros) {
     if (fd >= 0) return TcpSocket(fd);
     if (errno == EINTR) continue;
     return ErrnoStatus("accept", errno);
+  }
+}
+
+Status TcpListener::SetNonBlocking(bool enabled) {
+  if (!IsOpen()) return Status::ConnectionReset("fcntl on closed listener");
+  int flags = fcntl(fd_, F_GETFL, 0);
+  if (flags < 0) return ErrnoStatus("fcntl(F_GETFL)", errno);
+  int wanted = enabled ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (fcntl(fd_, F_SETFL, wanted) != 0) {
+    return ErrnoStatus("fcntl(F_SETFL)", errno);
+  }
+  return Status::OK();
+}
+
+Result<TcpSocket> TcpListener::AcceptNonBlocking() {
+  if (!IsOpen()) return Status::ConnectionReset("accept on closed listener");
+  while (true) {
+    int fd = ::accept4(fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd >= 0) return TcpSocket(fd);
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return Status::Timeout("accept would block");
+    }
+    return ErrnoStatus("accept4", errno);
   }
 }
 

@@ -42,6 +42,19 @@ class TcpSocket : public ByteSource {
   /// Writes the whole buffer or fails.
   Status WriteAll(std::string_view data, int64_t timeout_micros = 0);
 
+  /// Switches the fd between blocking and O_NONBLOCK mode.
+  Status SetNonBlocking(bool enabled);
+
+  /// Non-blocking read for reactor loops: reads whatever is available,
+  /// returning 0 on orderly peer shutdown and kTimeout ("would block")
+  /// when the socket has no bytes ready. Never polls.
+  Result<size_t> ReadNonBlocking(char* buf, size_t len);
+
+  /// Non-blocking write: writes as much as the socket accepts and
+  /// returns the count, or kTimeout ("would block") when the send
+  /// buffer is full. Never polls.
+  Result<size_t> WriteSome(std::string_view data);
+
   /// Disables Nagle's algorithm. The paper (§2.2) notes HTTP pipelining
   /// interacts badly with Nagle; both our client and server disable it.
   Status SetNoDelay(bool enabled);
@@ -77,7 +90,16 @@ class TcpListener {
   /// times out with kTimeout so accept loops can poll a stop flag.
   Result<TcpSocket> Accept(int64_t timeout_micros = 0);
 
+  /// Puts the listening fd in O_NONBLOCK mode (for reactor accept loops).
+  Status SetNonBlocking(bool enabled);
+
+  /// Accepts one connection without blocking; the returned socket is
+  /// already in non-blocking mode. Returns kTimeout ("would block") when
+  /// the accept queue is empty.
+  Result<TcpSocket> AcceptNonBlocking();
+
   uint16_t port() const { return port_; }
+  int fd() const { return fd_; }
   bool IsOpen() const { return fd_ >= 0; }
   void Close();
 

@@ -31,6 +31,13 @@ int64_t ConnectionShaper::OnResponseSend(int64_t response_bytes) {
   return delay;
 }
 
+int64_t ConnectionShaper::ScheduleResponse(int64_t now_micros,
+                                           int64_t request_bytes,
+                                           int64_t response_bytes) {
+  return now_micros + OnRequestReceived(request_bytes) +
+         OnResponseSend(response_bytes);
+}
+
 ConnectionShaper::ExchangePlan ConnectionShaper::PlanExchange(
     int64_t request_bytes, int64_t response_bytes) {
   ExchangePlan plan;

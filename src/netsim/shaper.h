@@ -38,6 +38,15 @@ class ConnectionShaper {
   /// advancing the congestion window as a side effect.
   int64_t OnResponseSend(int64_t response_bytes);
 
+  /// Non-blocking variant for reactor-style servers that never sleep:
+  /// given the loop's current clock `now_micros`, accounts one full
+  /// request/response exchange (OnRequestReceived + OnResponseSend) and
+  /// returns the absolute instant at which the response bytes become
+  /// eligible to hit the socket. The caller arms a timer instead of
+  /// sleeping; on a null link this is simply `now_micros`.
+  int64_t ScheduleResponse(int64_t now_micros, int64_t request_bytes,
+                           int64_t response_bytes);
+
   /// Current congestion window in bytes.
   int64_t cwnd_bytes() const { return cwnd_bytes_; }
 

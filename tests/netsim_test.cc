@@ -36,6 +36,26 @@ TEST(ShaperTest, NullLinkCostsNothing) {
   EXPECT_EQ(shaper.OnResponseSend(1 << 20), 0);
 }
 
+TEST(ShaperTest, ScheduleResponseMatchesBlockingDelays) {
+  // The reactor-facing variant must charge exactly what the blocking
+  // pair would, expressed as an absolute deadline against `now`.
+  LinkProfile lan = LinkProfile::Lan();
+  ConnectionShaper timed(lan);
+  ConnectionShaper twin(lan);
+  constexpr int64_t kNow = 10'000'000;
+  int64_t ready_at = timed.ScheduleResponse(kNow, 512, 64 * 1024);
+  int64_t expected =
+      kNow + twin.OnRequestReceived(512) + twin.OnResponseSend(64 * 1024);
+  EXPECT_EQ(ready_at, expected);
+  EXPECT_GT(ready_at, kNow);  // LAN exchange is never free
+  EXPECT_EQ(timed.exchanges(), twin.exchanges());
+  EXPECT_EQ(timed.cwnd_bytes(), twin.cwnd_bytes());
+
+  // Null link: eligible immediately, whatever the sizes.
+  ConnectionShaper loopback(LinkProfile::Loopback());
+  EXPECT_EQ(loopback.ScheduleResponse(kNow, 1 << 20, 1 << 20), kNow);
+}
+
 TEST(ShaperTest, FirstRequestPaysHandshake) {
   LinkProfile lan = LinkProfile::Lan();
   ConnectionShaper shaper(lan);

@@ -1,0 +1,225 @@
+// Overload and graceful-degradation tests for the reactor server: every
+// ServerStats overload counter must demonstrably fire, and the
+// request-size limits must answer with the right status codes (431 for
+// header abuse, 413 for body abuse) instead of hanging or crashing.
+
+#include <atomic>
+#include <string>
+
+#include "common/clock.h"
+#include "core/context.h"
+#include "core/http_client.h"
+#include "net/buffered_reader.h"
+#include "net/socket_address.h"
+#include "net/tcp_socket.h"
+#include "test_util.h"
+
+#include "gtest/gtest.h"
+
+namespace davix {
+namespace {
+
+using ::davix::testing::StartStorageServer;
+using ::davix::testing::TestStorageServer;
+
+/// Polls `counter` until it reaches `at_least` or ~5s pass.
+bool WaitForCounter(const std::atomic<uint64_t>& counter, uint64_t at_least) {
+  int64_t deadline = MonotonicMicros() + 5'000'000;
+  while (MonotonicMicros() < deadline) {
+    if (counter.load(std::memory_order_relaxed) >= at_least) return true;
+    SleepForMicros(5'000);
+  }
+  return counter.load(std::memory_order_relaxed) >= at_least;
+}
+
+net::TcpSocket ConnectTo(const TestStorageServer& server) {
+  auto address =
+      net::SocketAddress::Resolve("127.0.0.1", server.server->port());
+  auto socket = net::TcpSocket::Connect(*address);
+  EXPECT_TRUE(socket.ok());
+  return std::move(*socket);
+}
+
+/// Sends raw bytes, half-closes, returns everything the server answers.
+std::string RawExchange(const TestStorageServer& server,
+                        const std::string& bytes) {
+  net::TcpSocket socket = ConnectTo(server);
+  EXPECT_OK(socket.WriteAll(bytes));
+  socket.ShutdownWrite();
+  std::string response;
+  net::BufferedReader reader(&socket, 2'000'000);
+  (void)reader.ReadToEof(&response);
+  return response;
+}
+
+void ExpectHealthy(const TestStorageServer& server, const std::string& path) {
+  core::Context context;
+  core::HttpClient client(&context);
+  core::RequestParams params;
+  auto exchange = client.Execute(*Uri::Parse(server.UrlFor(path)),
+                                 http::Method::kGet, params);
+  ASSERT_TRUE(exchange.ok()) << exchange.status().ToString();
+  EXPECT_EQ(exchange->response.status_code, 200);
+}
+
+TEST(ServerOverloadTest, RequestLineTooLargeGets431) {
+  httpd::ServerConfig config;
+  config.max_request_line_bytes = 1024;
+  TestStorageServer server = StartStorageServer(config);
+  server.store->Put("/f", "payload");
+
+  // A request line that never terminates within budget.
+  std::string response =
+      RawExchange(server, "GET /" + std::string(4096, 'a'));
+  EXPECT_NE(response.find("431"), std::string::npos) << response;
+  EXPECT_NE(response.find("Connection: close"), std::string::npos);
+  ExpectHealthy(server, "/f");
+}
+
+TEST(ServerOverloadTest, HeaderBlockTooLargeGets431) {
+  httpd::ServerConfig config;
+  config.max_header_bytes = 2048;
+  TestStorageServer server = StartStorageServer(config);
+  server.store->Put("/f", "payload");
+
+  std::string request = "GET /f HTTP/1.1\r\nHost: x\r\nX-Pad: " +
+                        std::string(8192, 'b') + "\r\n\r\n";
+  std::string response = RawExchange(server, request);
+  EXPECT_NE(response.find("431"), std::string::npos) << response;
+  ExpectHealthy(server, "/f");
+}
+
+TEST(ServerOverloadTest, OversizedContentLengthGets413) {
+  httpd::ServerConfig config;
+  config.max_body_bytes = 1024;
+  TestStorageServer server = StartStorageServer(config);
+  server.store->Put("/f", "payload");
+
+  // The declaration alone is enough: no body bytes are ever sent.
+  std::string response = RawExchange(
+      server, "PUT /f HTTP/1.1\r\nHost: x\r\nContent-Length: 4096\r\n\r\n");
+  EXPECT_NE(response.find("413"), std::string::npos) << response;
+  ExpectHealthy(server, "/f");
+}
+
+TEST(ServerOverloadTest, ChunkAbusiveBodyGets413) {
+  httpd::ServerConfig config;
+  config.max_body_bytes = 1024;
+  TestStorageServer server = StartStorageServer(config);
+  server.store->Put("/f", "payload");
+
+  // A well-formed chunked body whose decoded size busts the limit.
+  std::string chunk_data(8192, 'c');
+  std::string request =
+      "PUT /f HTTP/1.1\r\nHost: x\r\nTransfer-Encoding: chunked\r\n\r\n" +
+      std::string("2000\r\n") + chunk_data + "\r\n0\r\n\r\n";
+  std::string response = RawExchange(server, request);
+  EXPECT_NE(response.find("413"), std::string::npos) << response;
+  ExpectHealthy(server, "/f");
+}
+
+TEST(ServerOverloadTest, ConnectionCapShedsWithRetryAfter) {
+  httpd::ServerConfig config;
+  config.max_connections = 2;
+  TestStorageServer server = StartStorageServer(config);
+  server.store->Put("/f", "payload");
+
+  // Two admitted connections park at the cap...
+  net::TcpSocket first = ConnectTo(server);
+  net::TcpSocket second = ConnectTo(server);
+  ASSERT_TRUE(WaitForCounter(server.server->stats().connections_accepted, 2));
+
+  // ...so the third is shed at accept with a canned 503 + Retry-After.
+  std::string response = RawExchange(server, "");
+  EXPECT_NE(response.find("503"), std::string::npos) << response;
+  EXPECT_NE(response.find("Retry-After:"), std::string::npos) << response;
+  EXPECT_GE(server.server->stats().connections_shed.load(), 1u);
+
+  // Releasing the parked connections restores service.
+  first.Close();
+  second.Close();
+  int64_t deadline = MonotonicMicros() + 5'000'000;
+  while (server.server->stats().connections_active.load() > 0 &&
+         MonotonicMicros() < deadline) {
+    SleepForMicros(5'000);
+  }
+  EXPECT_EQ(server.server->stats().connections_active.load(), 0u);
+  ExpectHealthy(server, "/f");
+}
+
+TEST(ServerOverloadTest, AdmissionControlShedsWithRetryAfter) {
+  TestStorageServer server = StartStorageServer();
+  server.store->Put("/f", "payload");
+
+  server.server->SetMaxDispatchBacklog(0);  // shed everything
+  std::string response =
+      RawExchange(server, "GET /f HTTP/1.1\r\nHost: x\r\n\r\n");
+  EXPECT_NE(response.find("503"), std::string::npos) << response;
+  EXPECT_NE(response.find("Retry-After:"), std::string::npos) << response;
+  EXPECT_NE(response.find("Connection: close"), std::string::npos);
+  EXPECT_GE(server.server->stats().requests_shed.load(), 1u);
+
+  server.server->SetMaxDispatchBacklog(256);  // recovery
+  ExpectHealthy(server, "/f");
+  EXPECT_GE(server.server->stats().requests_handled.load(), 1u);
+}
+
+TEST(ServerOverloadTest, HeaderTimeoutCounterFires) {
+  httpd::ServerConfig config;
+  config.header_timeout_micros = 150'000;
+  TestStorageServer server = StartStorageServer(config);
+  server.store->Put("/f", "payload");
+
+  // Slowloris: a header block that never completes.
+  net::TcpSocket socket = ConnectTo(server);
+  ASSERT_OK(socket.WriteAll("GET /f HTTP/1.1\r\nHost: x\r\nX-Slow: "));
+  EXPECT_TRUE(WaitForCounter(server.server->stats().header_timeouts, 1));
+  ExpectHealthy(server, "/f");
+}
+
+TEST(ServerOverloadTest, WriteStallAbortCounterFires) {
+  httpd::ServerConfig config;
+  config.write_stall_timeout_micros = 200'000;
+  TestStorageServer server = StartStorageServer(config);
+  // Big enough that loopback socket buffers cannot swallow it whole.
+  server.store->Put("/big", std::string(32 * 1024 * 1024, 'x'));
+  server.store->Put("/f", "payload");
+
+  // Request the object and then never read a byte of the response.
+  net::TcpSocket socket = ConnectTo(server);
+  ASSERT_OK(socket.WriteAll("GET /big HTTP/1.1\r\nHost: x\r\n\r\n"));
+  EXPECT_TRUE(WaitForCounter(server.server->stats().write_stall_aborts, 1));
+  ExpectHealthy(server, "/f");
+}
+
+TEST(ServerOverloadTest, DrainCompletesInFlightResponses) {
+  TestStorageServer server = StartStorageServer();
+  server.store->Put("/f", "payload");
+  server.router->Handle(
+      http::Method::kGet, "/slow",
+      [](const http::HttpRequest&, http::HttpResponse* response) {
+        SleepForMicros(300'000);
+        response->status_code = 200;
+        response->reason = "OK";
+        response->body = "slow-done";
+      });
+
+  net::TcpSocket socket = ConnectTo(server);
+  ASSERT_OK(socket.WriteAll("GET /slow HTTP/1.1\r\nHost: x\r\n\r\n"));
+  SleepForMicros(100'000);  // let the reactor dispatch it to a worker
+
+  // Stop() must drain: the in-flight response still arrives complete.
+  server.server->Stop();
+  std::string response;
+  net::BufferedReader reader(&socket, 2'000'000);
+  (void)reader.ReadToEof(&response);
+  EXPECT_NE(response.find("200"), std::string::npos) << response;
+  EXPECT_NE(response.find("slow-done"), std::string::npos) << response;
+
+  httpd::ServerStats& stats = server.server->stats();
+  EXPECT_EQ(stats.drain_completions.load(), 1u);
+  EXPECT_EQ(stats.responses_completed.load(), stats.requests_handled.load());
+}
+
+}  // namespace
+}  // namespace davix
