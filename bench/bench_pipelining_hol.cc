@@ -21,13 +21,17 @@
 // the slow one.
 
 #include <future>
+#include <string_view>
 #include <thread>
 
 #include "bench/bench_util.h"
+#include "common/checksum.h"
 #include "common/clock.h"
 #include "common/rng.h"
+#include "common/stats.h"
 #include "common/thread_pool.h"
 #include "core/context.h"
+#include "core/dav_file.h"
 #include "core/http_client.h"
 #include "http/parser.h"
 #include "muxhttp/mux.h"
@@ -148,37 +152,107 @@ Outcome RunPool(const HttpNode& node) {
 
 Outcome RunSpdyMux(const netsim::LinkProfile& link,
                    const HttpNode& node) {
-  // The SPDY-like session layer (§2.2's rejected alternative): same
-  // HTTP semantics and the same handler as the plain server, but framed
-  // streams over one connection — multiplexing without HOL blocking.
-  auto mux_router = node.router;  // identical routes incl. /slow
+  // The framed mux transport behind the HttpClient seam (§2.2's "pure
+  // multi-plexing" alternative, promoted to a first-class transport):
+  // identical HTTP semantics and the same routes/handler as the plain
+  // server, but all kRequests exchanges are streams on ONE framed
+  // connection, completing out of order — multiplexing without HOL
+  // blocking and without a socket per request.
   muxhttp::MuxServerConfig config;
   config.link = link;
-  auto server = muxhttp::MuxServer::Start(config, mux_router);
+  auto server = muxhttp::MuxServer::Start(config, node.router);
   if (!server.ok()) std::exit(1);
-  auto client = std::move(muxhttp::MuxClient::Connect(
-                              "127.0.0.1", (*server)->port()))
-                    .value();
+
+  core::Context context;
+  core::RequestParams params;
+  params.transport = core::TransportKind::kMux;
+  params.metalink_mode = core::MetalinkMode::kDisabled;
+  params.mux_max_connections_per_host = 1;
+  params.mux_max_streams_per_connection = kRequests;
+
   Outcome outcome;
   Stopwatch stopwatch;
-  std::vector<std::future<Result<http::HttpResponse>>> futures;
-  for (int i = 0; i < kRequests; ++i) {
-    http::HttpRequest request;
-    request.method = http::Method::kGet;
-    request.target = TargetFor(i);
-    request.headers.Set("Host", "mux");
-    futures.push_back(client->ExecuteAsync(request));
-  }
+  std::mutex mu;
   SampleStats fast;
-  for (int i = 1; i < kRequests; ++i) {
-    auto response = futures[i].get();
-    if (!response.ok() || response->status_code != 200) std::exit(1);
-    fast.Add(stopwatch.ElapsedSeconds() * 1000);
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kRequests; ++i) {
+    threads.emplace_back([&, i] {
+      core::HttpClient client(&context);
+      auto exchange = client.Execute(
+          *Uri::Parse((*server)->BaseUrl() + TargetFor(i)),
+          http::Method::kGet, params);
+      if (!exchange.ok() || exchange->response.status_code != 200) {
+        std::exit(1);
+      }
+      if (i != 0) {
+        std::lock_guard<std::mutex> lock(mu);
+        fast.Add(stopwatch.ElapsedSeconds() * 1000);
+      }
+    });
   }
-  if (!futures[0].get().ok()) std::exit(1);
+  for (std::thread& t : threads) t.join();
   outcome.total_seconds = stopwatch.ElapsedSeconds();
   outcome.fast_mean_ms = fast.Mean();
+  // The whole burst must have ridden one framed connection.
+  if (context.SnapshotCounters().mux_connections_opened != 1) {
+    std::fprintf(stderr, "spdy-mux: expected 1 framed connection\n");
+    std::exit(1);
+  }
   (*server)->Stop();
+  return outcome;
+}
+
+// --- bounded-connection fan-out leg ----------------------------------------
+//
+// The acceptance gate of the transport seam: N concurrent range-GETs
+// from 8 threads, pooled HTTP/1.1 vs the mux transport. The payloads
+// must be CRC-identical; the mux leg must use at most
+// kFanoutMaxMuxConnections framed connections where the pool grows
+// with concurrency. Violations exit non-zero so CI catches them.
+
+constexpr int kFanoutRequests = 24;
+constexpr int kFanoutThreads = 8;
+constexpr size_t kFanoutChunkBytes = 256 * 1024;
+constexpr uint64_t kFanoutMaxMuxConnections = 4;
+
+struct FanoutOutcome {
+  double total_seconds = 0;
+  uint64_t connections = 0;
+};
+
+FanoutOutcome RunFanout(const std::string& base_url, bool use_mux,
+                        const std::string& content) {
+  core::Context context({}, kFanoutThreads);
+  core::RequestParams params;
+  params.metalink_mode = core::MetalinkMode::kDisabled;
+  if (use_mux) {
+    params.transport = core::TransportKind::kMux;
+    params.mux_max_connections_per_host = kFanoutMaxMuxConnections;
+    params.mux_max_streams_per_connection = 8;
+  }
+  Stopwatch stopwatch;
+  ParallelFor(&context.dispatcher(), kFanoutRequests, kFanoutThreads,
+              [&](size_t i) {
+                core::DavFile file =
+                    *core::DavFile::Make(&context, base_url + "/big");
+                uint64_t offset = uint64_t(i) * kFanoutChunkBytes;
+                auto data =
+                    file.ReadPartial(offset, kFanoutChunkBytes, params);
+                if (!data.ok()) std::exit(1);
+                if (Crc32(*data) !=
+                    Crc32(std::string_view(content)
+                              .substr(offset, kFanoutChunkBytes))) {
+                  std::fprintf(stderr,
+                               "fanout: payload CRC mismatch, range %zu\n",
+                               i);
+                  std::exit(1);
+                }
+              });
+  FanoutOutcome outcome;
+  outcome.total_seconds = stopwatch.ElapsedSeconds();
+  IoCounters io = context.SnapshotCounters();
+  outcome.connections =
+      use_mux ? io.mux_connections_opened : io.connections_opened;
   return outcome;
 }
 
@@ -231,7 +305,8 @@ int main(int argc, char** argv) {
   auto store = std::make_shared<httpd::ObjectStore>();
   Rng rng(2);
   store->Put("/obj", rng.Bytes(kObjectBytes));
-  store->Put("/big", rng.Bytes(8 * 1024 * 1024));
+  std::string big = rng.Bytes(8 * 1024 * 1024);
+  store->Put("/big", big);
 
   JsonReporter json("pipelining_hol");
   std::printf("%-6s %-10s %12s %18s\n", "link", "strategy", "total[s]",
@@ -263,6 +338,45 @@ int main(int argc, char** argv) {
           .Num("total_seconds", strategy.outcome.total_seconds)
           .Num("fast_req_mean_ms", strategy.outcome.fast_mean_ms);
     }
+
+    // Fan-out acceptance gate: kFanoutRequests concurrent range-GETs of
+    // /big from kFanoutThreads threads, pooled vs mux, CRC-checked.
+    FanoutOutcome pooled_fanout = RunFanout(node.server->BaseUrl(), false, big);
+    muxhttp::MuxServerConfig fanout_config;
+    fanout_config.link = link;
+    auto fanout_server = muxhttp::MuxServer::Start(fanout_config, node.router);
+    if (!fanout_server.ok()) std::exit(1);
+    FanoutOutcome mux_fanout =
+        RunFanout((*fanout_server)->BaseUrl(), true, big);
+    (*fanout_server)->Stop();
+    if (mux_fanout.connections > kFanoutMaxMuxConnections) {
+      std::fprintf(stderr,
+                   "fanout: mux used %llu framed connections (budget %llu)\n",
+                   static_cast<unsigned long long>(mux_fanout.connections),
+                   static_cast<unsigned long long>(kFanoutMaxMuxConnections));
+      std::exit(1);
+    }
+    std::printf("%-6s %-10s %12.3f %10llu conns (%d range-GETs)\n",
+                link.name.c_str(), "fanout", pooled_fanout.total_seconds,
+                static_cast<unsigned long long>(pooled_fanout.connections),
+                kFanoutRequests);
+    std::printf("%-6s %-10s %12.3f %10llu conns (%d range-GETs)\n",
+                link.name.c_str(), "mux-fanout", mux_fanout.total_seconds,
+                static_cast<unsigned long long>(mux_fanout.connections),
+                kFanoutRequests);
+    json.AddRow()
+        .Str("link", link.name)
+        .Str("strategy", "pool-fanout")
+        .Num("total_seconds", pooled_fanout.total_seconds)
+        .Int("connections", static_cast<int64_t>(pooled_fanout.connections))
+        .Int("requests", kFanoutRequests);
+    json.AddRow()
+        .Str("link", link.name)
+        .Str("strategy", "mux-fanout")
+        .Num("total_seconds", mux_fanout.total_seconds)
+        .Int("connections", static_cast<int64_t>(mux_fanout.connections))
+        .Int("requests", kFanoutRequests);
+
     node.server->Stop();
   }
   json.WriteTo(args.json_path);

@@ -43,6 +43,10 @@
 
 #include "bench/bench_util.h"
 #include "common/clock.h"
+#include "common/thread_pool.h"
+#include "core/context.h"
+#include "core/http_client.h"
+#include "muxhttp/mux.h"
 
 namespace davix {
 namespace bench {
@@ -553,6 +557,82 @@ int main(int argc, char** argv) {
       .Int("drain_completions", stats.drain_completions.load())
       .Num("p99_budget_ms", p99_budget_ms)
       .Int("verified", g_verify_failed ? 0 : 1);
+
+  // --- Mux leg: the same object mix over the framed mux transport. -------
+  // A small client fleet drives the MuxServer through the HttpClient
+  // seam; every request must complete and the whole fleet must fit in
+  // the transport's per-host framed-connection budget.
+  {
+    const int mux_threads = args.smoke ? 4 : 8;
+    const int mux_requests_per_thread = args.smoke ? 25 : 200;
+    const uint64_t mux_connection_budget = 4;
+
+    muxhttp::MuxServerConfig mux_config;
+    auto mux_started = muxhttp::MuxServer::Start(mux_config, router);
+    Gate(mux_started.ok(), "mux server starts");
+    if (mux_started.ok()) {
+      core::Context context({}, static_cast<size_t>(mux_threads));
+      core::RequestParams params;
+      params.metalink_mode = core::MetalinkMode::kDisabled;
+      params.transport = core::TransportKind::kMux;
+      params.mux_max_connections_per_host = mux_connection_budget;
+      std::atomic<uint64_t> mux_ok{0};
+      std::atomic<uint64_t> mux_failed{0};
+      Stopwatch mux_timer;
+      ParallelFor(&context.dispatcher(), static_cast<size_t>(mux_threads),
+                  static_cast<size_t>(mux_threads), [&](size_t t) {
+                    core::HttpClient client(&context);
+                    for (int i = 0; i < mux_requests_per_thread; ++i) {
+                      int object =
+                          (static_cast<int>(t) * mux_requests_per_thread + i) %
+                          kObjects;
+                      auto exchange = client.Execute(
+                          *Uri::Parse((*mux_started)->BaseUrl() + "/obj" +
+                                      std::to_string(object)),
+                          http::Method::kGet, params);
+                      if (exchange.ok() &&
+                          exchange->response.status_code == 200 &&
+                          exchange->response.body.size() == kObjectBytes) {
+                        mux_ok++;
+                      } else {
+                        mux_failed++;
+                      }
+                    }
+                  });
+      double mux_seconds = mux_timer.ElapsedSeconds();
+      const muxhttp::MuxServerStats& mux_stats = (*mux_started)->stats();
+      uint64_t mux_conns = mux_stats.connections_accepted.load();
+      uint64_t mux_handled = mux_stats.requests_handled.load();
+      uint64_t expected =
+          static_cast<uint64_t>(mux_threads) * mux_requests_per_thread;
+
+      Gate(mux_failed.load() == 0, "mux leg completes every request");
+      Gate(mux_conns <= mux_connection_budget,
+           "mux fleet fits the framed-connection budget");
+      Gate(mux_handled >= expected, "mux server handled the full workload");
+
+      std::printf(
+          "\nmux leg: %llu requests over %llu framed connections in %.3fs "
+          "(%.0f req/s)\n",
+          static_cast<unsigned long long>(mux_ok.load()),
+          static_cast<unsigned long long>(mux_conns), mux_seconds,
+          mux_seconds > 0 ? static_cast<double>(mux_ok.load()) / mux_seconds
+                          : 0);
+      json.AddRow()
+          .Str("phase", "mux")
+          .Int("clients", static_cast<uint64_t>(mux_threads))
+          .Num("seconds", mux_seconds)
+          .Int("requests_ok", mux_ok.load())
+          .Int("requests_failed", mux_failed.load())
+          .Int("connections_accepted", mux_conns)
+          .Int("streams_refused", mux_stats.streams_refused.load())
+          .Num("req_per_s", mux_seconds > 0
+                                ? static_cast<double>(mux_ok.load()) /
+                                      mux_seconds
+                                : 0);
+      (*mux_started)->Stop();
+    }
+  }
   json.WriteTo(args.json_path);
 
   std::printf(

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Greppable concurrency invariants of the tree (see docs/CONCURRENCY.md).
 
-Four rules, enforced with nothing but the standard library:
+Seven rules, enforced with nothing but the standard library:
 
   1. no raw `std::thread` under src/ outside the allowlisted files that
      implement the threading substrate itself (ThreadPool) or a
@@ -27,7 +27,13 @@ Four rules, enforced with nothing but the standard library:
      src/httpd/ only server.{h,cc} may even mention std::thread, and
      server.cc may construct exactly one (the reactor). A second thread
      in that directory means somebody is sharing ServerConnection
-     across threads again.
+     across threads again;
+  7. mux frame writes are serialized: in src/muxhttp/ and
+     src/core/mux_transport.{h,cc} a raw `socket->WriteAll(...)` may
+     appear only inside a helper named `*Locked` whose declaration (in
+     the same file or its .h/.cc sibling) carries a REQUIRES(...)
+     capability annotation.  Frames from concurrent streams interleave
+     on one connection, so an unguarded write tears frames mid-header.
 
 Exit status 0 = clean, 1 = violations (listed on stderr).
 """
@@ -45,8 +51,10 @@ ALLOWED_STD_THREAD = {
     "src/common/thread_pool.cc",
     "src/httpd/server.h",          # the single reactor thread (rule 6)
     "src/httpd/server.cc",
-    "src/muxhttp/mux.h",           # accept/conn threads + client reader loop
+    "src/muxhttp/mux.h",           # accept + per-connection threads
     "src/muxhttp/mux.cc",
+    "src/core/mux_transport.h",    # mux client demux reader loop
+    "src/core/mux_transport.cc",
     "src/xrootd/xrd_server.h",     # thread-per-connection
     "src/xrootd/xrd_server.cc",
     "src/xrootd/xrd_client.h",     # client reader loop
@@ -65,6 +73,10 @@ BARE_SLEEP_RE = re.compile(r"\bSleepForMicros\s*\(")
 # jittered/budgeted pause primitives themselves.
 ALLOWED_CORE_SLEEP = {"src/core/resilience.cc"}
 DISPATCH_RE = re.compile(r"\b(Submit|ParallelFor|ParallelForCancellable)\s*\(")
+# Rule 7: files whose socket writes carry interleaved mux frames.
+MUX_WRITE_FILES_RE = re.compile(
+    r"^src/(muxhttp/|core/mux_transport\.(h|cc)$)")
+WRITE_ALL_RE = re.compile(r"\bWriteAll\s*\(")
 MUTATION_RE = re.compile(
     r"(?:\+\+|--)\s*([A-Za-z_]\w*)\b|\b([A-Za-z_]\w*)\s*(?:\+\+|--|\+=|-=)")
 
@@ -100,6 +112,13 @@ def strip_comments_and_strings(text):
             out.append("".join(ch if ch == "\n" else " "
                                for ch in text[i:j]))
             i = j
+        elif (c == "'" and i > 0 and text[i - 1] in "0123456789abcdefABCDEF"
+              and i + 1 < n and text[i + 1] in "0123456789abcdefABCDEF"):
+            # C++14 digit separator (20'000, 0xFFFF'FFFF), not a char
+            # literal — treating it as one would blank out real code up
+            # to the next apostrophe.
+            out.append(c)
+            i += 1
         elif c in "\"'":
             j = i + 1
             while j < n and text[j] != c:
@@ -187,6 +206,90 @@ def dispatcher_closures(text):
                     yield body
 
 
+def skip_paren_group(text, open_pos):
+    """Offset of the ')' matching text[open_pos] == '(' (or len(text)).
+    Returns -1 if depth goes negative first (we started inside a larger
+    expression, e.g. a call in an if-condition)."""
+    depth = 0
+    for i in range(open_pos, len(text)):
+        if text[i] == "(":
+            depth += 1
+        elif text[i] == ")":
+            depth -= 1
+            if depth == 0:
+                return i
+            if depth < 0:
+                return -1
+    return len(text)
+
+
+def locked_fn_spans(text):
+    """Yields (name, body_start, body_end) for every function DEFINITION
+    whose name ends in 'Locked' (declarations and call sites skipped)."""
+    for m in re.finditer(r"\b(\w+Locked)\s*\(", text):
+        close = skip_paren_group(text, text.find("(", m.end() - 1))
+        if close < 0 or close >= len(text):
+            continue
+        j = close + 1
+        depth = 0
+        while j < len(text) and (depth > 0 or text[j] not in ";{"):
+            if text[j] == "(":
+                depth += 1
+            elif text[j] == ")":
+                depth -= 1
+                if depth < 0:
+                    break
+            j += 1
+        if j >= len(text) or text[j] != "{" or depth != 0:
+            continue
+        yield (m.group(1), j, matching_brace(text, j))
+
+
+def declares_requires(text, name):
+    """True if some declaration/definition of `name` in `text` carries a
+    REQUIRES(...) annotation between its parameter list and body/';'."""
+    for m in re.finditer(r"\b" + re.escape(name) + r"\s*\(", text):
+        close = skip_paren_group(text, text.find("(", m.end() - 1))
+        if close < 0 or close >= len(text):
+            continue
+        j = close + 1
+        seg = []
+        depth = 0
+        while j < len(text) and (depth > 0 or text[j] not in ";{"):
+            if text[j] == "(":
+                depth += 1
+            elif text[j] == ")":
+                depth -= 1
+                if depth < 0:
+                    break
+            seg.append(text[j])
+            j += 1
+        if "REQUIRES" in "".join(seg):
+            return True
+    return False
+
+
+def check_mux_writes(rel, text):
+    """Rule 7: WriteAll in mux frame code only inside annotated *Locked
+    helpers. Returns (problems, used_names) — REQUIRES presence is
+    checked by the caller against the .h/.cc sibling pair."""
+    problems = []
+    used_names = set()
+    spans = list(locked_fn_spans(text))
+    for m in WRITE_ALL_RE.finditer(text):
+        inside = [name for name, start, end in spans
+                  if start <= m.start() < end]
+        if inside:
+            used_names.add(inside[0])
+        else:
+            problems.append(
+                (rel, line_of(text, m.start()),
+                 "raw WriteAll outside a *Locked helper — mux frames from "
+                 "concurrent streams share one socket; route every write "
+                 "through a REQUIRES-annotated *Locked function"))
+    return problems, used_names
+
+
 def check_mutations(path, text):
     problems = []
     atomics = set(re.findall(r"atomic(?:<[^;{]*?>)?>?\s+(\w+)", text))
@@ -251,6 +354,24 @@ def main() -> int:
                          "std::thread in src/httpd outside server.{h,cc} — "
                          "connection state is reactor-owned; use the "
                          "worker pool + completions instead"))
+        if MUX_WRITE_FILES_RE.match(rel):
+            mux_problems, used_names = check_mux_writes(rel, text)
+            problems.extend(mux_problems)
+            if used_names:
+                sibling = (path.with_suffix(".h") if path.suffix == ".cc"
+                           else path.with_suffix(".cc"))
+                combined = text
+                if sibling.is_file():
+                    combined += "\n" + strip_comments_and_strings(
+                        sibling.read_text(encoding="utf-8"))
+                for name in sorted(used_names):
+                    if not declares_requires(combined, name):
+                        problems.append(
+                            (rel, 1,
+                             f"mux write helper '{name}' has no "
+                             "REQUIRES(...) annotation on any declaration "
+                             "— the write mutex must be a declared "
+                             "capability so Clang checks the callers"))
         if rel.startswith("src/core/") and rel not in ALLOWED_CORE_SLEEP:
             for m in BARE_SLEEP_RE.finditer(text):
                 problems.append(

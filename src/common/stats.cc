@@ -53,7 +53,7 @@ std::string SampleStats::Summary(const std::string& unit) const {
 }
 
 std::string IoCounters::ToString() const {
-  char buf[960];
+  char buf[1280];
   std::snprintf(
       buf, sizeof(buf),
       "requests=%llu rtts=%llu bytes_read=%llu bytes_written=%llu "
@@ -64,7 +64,9 @@ std::string IoCounters::ToString() const {
       "failovers=%llu quarantines=%llu validator_rejects=%llu "
       "multisource_chunks=%llu multisource_cache_chunks=%llu "
       "vector_queries=%llu ranges=%llu cache_hits=%llu "
-      "cache_misses=%llu cache_evictions=%llu cache_bytes_saved=%llu",
+      "cache_misses=%llu cache_evictions=%llu cache_bytes_saved=%llu "
+      "mux_conn_opened=%llu mux_conn_lost=%llu mux_streams=%llu "
+      "mux_streams_reset=%llu mux_backpressure_waits=%llu",
       static_cast<unsigned long long>(requests),
       static_cast<unsigned long long>(network_round_trips),
       static_cast<unsigned long long>(bytes_read),
@@ -90,7 +92,12 @@ std::string IoCounters::ToString() const {
       static_cast<unsigned long long>(cache_hits),
       static_cast<unsigned long long>(cache_misses),
       static_cast<unsigned long long>(cache_evictions),
-      static_cast<unsigned long long>(cache_bytes_saved));
+      static_cast<unsigned long long>(cache_bytes_saved),
+      static_cast<unsigned long long>(mux_connections_opened),
+      static_cast<unsigned long long>(mux_connections_lost),
+      static_cast<unsigned long long>(mux_streams_opened),
+      static_cast<unsigned long long>(mux_streams_reset),
+      static_cast<unsigned long long>(mux_backpressure_waits));
   return buf;
 }
 

@@ -61,6 +61,11 @@ struct IoCounters {
   uint64_t cache_misses = 0;       ///< block-cache lookups that went to the wire
   uint64_t cache_evictions = 0;    ///< blocks evicted by the cache budget
   uint64_t cache_bytes_saved = 0;  ///< payload bytes served from cache, not wire
+  uint64_t mux_connections_opened = 0;  ///< framed mux connections opened
+  uint64_t mux_connections_lost = 0;    ///< mux connections torn down by errors
+  uint64_t mux_streams_opened = 0;      ///< exchanges multiplexed as streams
+  uint64_t mux_streams_reset = 0;       ///< streams ended by RST / cancel
+  uint64_t mux_backpressure_waits = 0;  ///< waits for a free mux stream slot
 
   void Reset() { *this = IoCounters{}; }
   std::string ToString() const;

@@ -29,6 +29,19 @@ bool Context::dispatcher_started() const {
   return dispatcher_ != nullptr;
 }
 
+MuxTransport& Context::mux_transport() {
+  MutexLock lock(mux_mu_);
+  if (!mux_transport_) {
+    mux_transport_ = std::make_unique<MuxTransport>();
+  }
+  return *mux_transport_;
+}
+
+bool Context::mux_transport_started() const {
+  MutexLock lock(mux_mu_);
+  return mux_transport_ != nullptr;
+}
+
 IoCounters Context::SnapshotCounters() const {
   IoCounters out;
   out.requests = stats_.requests.load(std::memory_order_relaxed);
@@ -67,6 +80,22 @@ IoCounters Context::SnapshotCounters() const {
       pool_->stats().connects.load(std::memory_order_relaxed);
   out.connections_reused =
       pool_->stats().recycled.load(std::memory_order_relaxed);
+  {
+    MutexLock lock(mux_mu_);
+    if (mux_transport_) {
+      MuxTransportStats& mux = mux_transport_->stats();
+      out.mux_connections_opened =
+          mux.connections_opened.load(std::memory_order_relaxed);
+      out.mux_connections_lost =
+          mux.connections_lost.load(std::memory_order_relaxed);
+      out.mux_streams_opened =
+          mux.streams_opened.load(std::memory_order_relaxed);
+      out.mux_streams_reset =
+          mux.streams_reset.load(std::memory_order_relaxed);
+      out.mux_backpressure_waits =
+          mux.backpressure_waits.load(std::memory_order_relaxed);
+    }
+  }
   BlockCacheCounters cache = block_cache_->Snapshot();
   out.cache_hits = cache.hits;
   out.cache_misses = cache.misses;
@@ -101,6 +130,17 @@ void Context::ResetCounters() {
   breaker.closes.store(0, std::memory_order_relaxed);
   breaker.fast_fails.store(0, std::memory_order_relaxed);
   breaker.half_open_probes.store(0, std::memory_order_relaxed);
+  {
+    MutexLock lock(mux_mu_);
+    if (mux_transport_) {
+      MuxTransportStats& mux = mux_transport_->stats();
+      mux.connections_opened.store(0, std::memory_order_relaxed);
+      mux.connections_lost.store(0, std::memory_order_relaxed);
+      mux.streams_opened.store(0, std::memory_order_relaxed);
+      mux.streams_reset.store(0, std::memory_order_relaxed);
+      mux.backpressure_waits.store(0, std::memory_order_relaxed);
+    }
+  }
   block_cache_->ResetCounters();
 }
 

@@ -9,6 +9,7 @@
 #include "common/stats.h"
 #include "common/thread_pool.h"
 #include "core/block_cache.h"
+#include "core/mux_transport.h"
 #include "core/session_pool.h"
 
 namespace davix {
@@ -79,6 +80,15 @@ class Context {
   /// True once dispatcher() has been called (the pool is running).
   bool dispatcher_started() const;
 
+  /// The shared mux transport behind RequestParams::transport == kMux:
+  /// lazily created on first use (like the dispatcher), so Contexts
+  /// that stay on pooled HTTP/1.1 never open a framed connection or
+  /// start a reader thread.
+  MuxTransport& mux_transport();
+
+  /// True once mux_transport() has been called.
+  bool mux_transport_started() const;
+
   /// Consistent snapshot of the counters (plus pool connection counts
   /// and block-cache hit/miss/bytes-saved totals) as a plain IoCounters
   /// value for reporting.
@@ -95,6 +105,10 @@ class Context {
   ContextStats stats_;
   size_t dispatcher_threads_;
   mutable Mutex dispatcher_mu_;
+  mutable Mutex mux_mu_;
+  /// Lazily created, same discipline as dispatcher_; thread-safe once
+  /// the reference escapes mux_transport().
+  std::unique_ptr<MuxTransport> mux_transport_ GUARDED_BY(mux_mu_);
   /// Declared last: destroyed first, so in-flight dispatcher tasks that
   /// touch the session pool, the cache, or the stats finish before
   /// those members go. The lock covers creation; the pool object itself

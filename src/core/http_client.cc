@@ -43,6 +43,47 @@ uint64_t ResolveJitterSeed(const RequestParams& params) {
           0x9e3779b97f4a7c15ULL);
 }
 
+// Same resolution as the session pool's (0 = default, < 0 = disabled);
+// the mux path admits against the identical breaker table, it just
+// doesn't go through SessionPool::Acquire.
+CircuitBreakerConfig MuxBreakerConfigFrom(const RequestParams& params) {
+  CircuitBreakerConfig config;
+  if (params.breaker_failure_threshold != 0) {
+    config.failure_threshold = params.breaker_failure_threshold;
+  }
+  if (params.breaker_cooldown_micros > 0) {
+    config.cooldown_micros = params.breaker_cooldown_micros;
+  }
+  return config;
+}
+
+// The wire request both transports send — byte-identical head, so a
+// response served over mux is comparable bit-for-bit with the pooled
+// path.
+http::HttpRequest BuildWireRequest(const Uri& url, http::Method method,
+                                   const RequestParams& params,
+                                   const http::HeaderMap* extra_headers) {
+  http::HttpRequest request;
+  request.method = method;
+  request.target = UrlEncodePath(url.path());
+  if (!url.query().empty()) request.target += "?" + url.query();
+  request.headers.Set("Host", url.HostPortKey());
+  request.headers.Set("User-Agent", params.user_agent);
+  request.headers.Set("Connection",
+                      params.keep_alive ? "keep-alive" : "close");
+  if (!params.username.empty()) {
+    request.headers.Set(
+        "Authorization",
+        "Basic " + Base64Encode(params.username + ":" + params.password));
+  }
+  if (extra_headers != nullptr) {
+    for (const auto& [name, value] : extra_headers->entries()) {
+      request.headers.Set(name, value);
+    }
+  }
+  return request;
+}
+
 }  // namespace
 
 Status HttpStatusToStatus(int code, const std::string& context) {
@@ -175,6 +216,10 @@ Result<http::HttpResponse> HttpClient::ExecuteOnce(
     const std::string& body, const http::HeaderMap* extra_headers,
     bool* replayable) {
   *replayable = false;
+  if (params.transport == TransportKind::kMux) {
+    return ExecuteOnceMux(url, method, params, body, extra_headers,
+                          replayable);
+  }
   // A fast-fail or connect failure is accounted to the breaker by the
   // pool itself; this function reports only post-acquire outcomes, so
   // no host is ever double-counted for one attempt.
@@ -186,24 +231,8 @@ Result<http::HttpResponse> HttpClient::ExecuteOnce(
   const int64_t io_timeout =
       params.deadline.CapTimeout(params.operation_timeout_micros);
 
-  http::HttpRequest request;
-  request.method = method;
-  request.target = UrlEncodePath(url.path());
-  if (!url.query().empty()) request.target += "?" + url.query();
-  request.headers.Set("Host", url.HostPortKey());
-  request.headers.Set("User-Agent", params.user_agent);
-  request.headers.Set("Connection",
-                      params.keep_alive ? "keep-alive" : "close");
-  if (!params.username.empty()) {
-    request.headers.Set(
-        "Authorization",
-        "Basic " + Base64Encode(params.username + ":" + params.password));
-  }
-  if (extra_headers != nullptr) {
-    for (const auto& [name, value] : extra_headers->entries()) {
-      request.headers.Set(name, value);
-    }
-  }
+  http::HttpRequest request =
+      BuildWireRequest(url, method, params, extra_headers);
   // Zero-copy send: the payload never gets concatenated into the wire
   // buffer (for a PUT that used to mean one full extra copy of the
   // body). The head goes out first, then the caller's body directly.
@@ -259,6 +288,52 @@ Result<http::HttpResponse> HttpClient::ExecuteOnce(
   } else {
     context_->pool().Discard(std::move(session));
   }
+  return response;
+}
+
+Result<http::HttpResponse> HttpClient::ExecuteOnceMux(
+    const Uri& url, http::Method method, const RequestParams& params,
+    const std::string& body, const http::HeaderMap* extra_headers,
+    bool* replayable) {
+  // A mux exchange is never replayable: the stream either completes or
+  // fails for real (there is no "stale recycled connection" — dead
+  // connections are pruned by the transport and failures come back as
+  // retryable statuses that consume the retry budget).
+  *replayable = false;
+  const std::string host_key = url.HostPortKey();
+  CircuitBreakerRegistry& breakers = context_->pool().breakers();
+  switch (breakers.Admit(host_key, MuxBreakerConfigFrom(params),
+                         MonotonicMicros())) {
+    case CircuitBreaker::Decision::kFastFail:
+      return Status::ConnectionFailed("circuit breaker open for " + host_key);
+    case CircuitBreaker::Decision::kAdmit:
+    case CircuitBreaker::Decision::kProbe:
+      break;
+  }
+
+  http::HttpRequest request =
+      BuildWireRequest(url, method, params, extra_headers);
+  request.body = body;
+  context_->stats().requests.fetch_add(1, std::memory_order_relaxed);
+  context_->stats().network_round_trips.fetch_add(1,
+                                                  std::memory_order_relaxed);
+  context_->stats().bytes_written.fetch_add(
+      request.SerializeHead(body.size()).size() + body.size(),
+      std::memory_order_relaxed);
+
+  Result<http::HttpResponse> response = context_->mux_transport().Execute(
+      url, request, method == http::Method::kHead, params);
+  if (!response.ok()) {
+    breakers.RecordFailure(host_key, MonotonicMicros());
+    return response.status().WithContext("mux exchange");
+  }
+  context_->stats().bytes_read.fetch_add(
+      response->SerializeHead(response->body.size()).size() +
+          response->body.size(),
+      std::memory_order_relaxed);
+  // Any complete response — 5xx included — proves the host is talking;
+  // breaker health tracks the transport, not the status code.
+  breakers.RecordSuccess(host_key);
   return response;
 }
 

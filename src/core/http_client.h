@@ -60,11 +60,23 @@ class HttpClient {
   /// failure happened on a recycled connection before any response byte,
   /// meaning the pooled connection was stale and the request can be
   /// replayed on a fresh one without observing a double execution.
+  /// Routes to ExecuteOnceMux when params.transport == kMux — the
+  /// transport seam: everything above (retries, Retry-After pacing,
+  /// redirects, deadline accounting in Execute) is transport-agnostic.
   Result<http::HttpResponse> ExecuteOnce(const Uri& url, http::Method method,
                                          const RequestParams& params,
                                          const std::string& body,
                                          const http::HeaderMap* extra_headers,
                                          bool* replayable);
+
+  /// The same single attempt over the Context's shared MuxTransport:
+  /// identical request headers, breaker admission and outcome feedback
+  /// keyed by host:port exactly like the pooled path. Mux exchanges are
+  /// never replayable (a stream either completes or fails for real).
+  Result<http::HttpResponse> ExecuteOnceMux(
+      const Uri& url, http::Method method, const RequestParams& params,
+      const std::string& body, const http::HeaderMap* extra_headers,
+      bool* replayable);
 
   Context* context_;
 };

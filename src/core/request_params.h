@@ -21,6 +21,21 @@ enum class MetalinkMode {
   kMultiStream,
 };
 
+/// Which wire transport carries an exchange — the §2.2 trade-off made
+/// selectable per request.
+enum class TransportKind {
+  /// Pooled HTTP/1.1 keep-alive over the SessionPool: one socket per
+  /// in-flight exchange, recycled across requests (davix's choice, the
+  /// default, wire-compatible with stock HTTP infrastructure).
+  kPooled,
+  /// Framed multiplexing (the SPDY-style alternative §2.2 rejects):
+  /// many concurrent exchanges interleaved as streams over a small,
+  /// bounded set of connections per host (core::MuxTransport). Requires
+  /// a mux-speaking server (muxhttp::MuxServer); deadline, retry,
+  /// Retry-After and circuit-breaker semantics are identical to pooled.
+  kMux,
+};
+
 /// Revalidation policy of the per-Context block cache: when a read path
 /// spends a wire round trip confirming that cached blocks still match
 /// the remote object before serving them.
@@ -109,6 +124,21 @@ struct RequestParams {
   /// HTTP/1.0 one-connection-per-request behaviour the paper shows to be
   /// crippled by TCP slow start.
   bool keep_alive = true;
+
+  // --- §2.2: transport seam --------------------------------------------
+  /// Which transport carries this request's exchanges. kPooled (default)
+  /// is unchanged HTTP/1.1 over the session pool; kMux multiplexes
+  /// exchanges as framed streams over the Context's shared MuxTransport.
+  /// Every hot path (vectored batches, read-ahead, replica striping)
+  /// funnels through HttpClient::Execute, so flipping this knob moves
+  /// them all.
+  TransportKind transport = TransportKind::kPooled;
+  /// kMux: framed connections kept per host before new exchanges wait
+  /// for a stream slot instead of connecting. 0 = default (2).
+  size_t mux_max_connections_per_host = 0;
+  /// kMux: concurrent streams multiplexed on one connection. 0 =
+  /// default (64).
+  size_t mux_max_streams_per_connection = 0;
 
   // --- §2.3: vectored I/O ----------------------------------------------
   /// Maximum ranges packed into one multi-range request; larger vectors

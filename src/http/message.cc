@@ -145,9 +145,9 @@ bool HttpResponse::KeepsConnectionAlive() const {
   return true;  // HTTP/1.1 default is persistent
 }
 
-std::string HttpResponse::Serialize() const {
+std::string HttpResponse::SerializeHead(size_t body_size) const {
   std::string out;
-  out.reserve(256 + body.size());
+  out.reserve(256);
   out += version;
   out += ' ';
   out += std::to_string(status_code);
@@ -164,9 +164,14 @@ std::string HttpResponse::Serialize() const {
   }
   bool chunked = headers.ListContains("Transfer-Encoding", "chunked");
   if (!has_length && !chunked) {
-    out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+    out += "Content-Length: " + std::to_string(body_size) + "\r\n";
   }
   out += "\r\n";
+  return out;
+}
+
+std::string HttpResponse::Serialize() const {
+  std::string out = SerializeHead(body.size());
   out += body;
   return out;
 }

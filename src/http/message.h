@@ -70,8 +70,14 @@ struct HttpResponse {
   std::string body;
 
   /// True if, per RFC 7230 §6.3 and our headers, the connection can be
-  /// reused for another request after this response.
+  /// reused for another response after this one.
   bool KeepsConnectionAlive() const;
+
+  /// Serialises the head only (status line + headers + blank line),
+  /// declaring `body_size` via Content-Length when neither a length nor
+  /// chunked framing is already set. Lets the mux server write the head
+  /// as a HEADERS frame and stream the body as separate DATA frames.
+  std::string SerializeHead(size_t body_size) const;
 
   std::string Serialize() const;
 };

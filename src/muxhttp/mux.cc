@@ -2,12 +2,11 @@
 
 #include <sys/socket.h>
 
+#include <unordered_set>
+
 #include "common/clock.h"
 #include "common/logging.h"
 #include "common/thread_pool.h"
-#include "http/parser.h"
-#include "net/byte_source.h"
-#include "net/socket_address.h"
 #include "netsim/shaper.h"
 
 namespace davix {
@@ -17,64 +16,47 @@ namespace {
 constexpr int64_t kAcceptPollMicros = 50'000;
 constexpr size_t kWorkersPerConnection = 8;
 
-void PutU32(std::string* out, uint32_t v) {
-  for (int i = 0; i < 4; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
-}
+/// Per-connection state shared between the reader (the connection
+/// thread) and the response workers. Lives on HandleConnection's stack;
+/// workers.Shutdown() runs before it goes out of scope, so references
+/// captured by worker tasks never dangle.
+struct ConnState {
+  ConnState(net::TcpSocket* socket, const netsim::LinkProfile& link)
+      : socket(socket), shaper(link) {}
 
-uint32_t GetU32(const char* p) {
-  uint32_t v = 0;
-  for (int i = 0; i < 4; ++i) {
-    v |= static_cast<uint32_t>(static_cast<unsigned char>(p[i])) << (8 * i);
+  net::TcpSocket* socket;
+  netsim::ConnectionShaper shaper;
+  Mutex shaper_mu;
+
+  /// Guards every byte written to the socket, the broken flag, and the
+  /// cancel set (checked under the same lock right before each write so
+  /// a cancel observed between frames suppresses the rest).
+  Mutex write_mu;
+  bool write_broken GUARDED_BY(write_mu) = false;
+  std::unordered_set<uint32_t> cancelled GUARDED_BY(write_mu);
+
+  std::atomic<int64_t> active_exchanges{0};
+
+  /// The only place muxhttp server code touches the socket's send side.
+  Status WriteFrameLocked(const MuxFrame& frame) REQUIRES(write_mu) {
+    if (write_broken) return Status::ConnectionReset("mux write side broken");
+    Status status = socket->WriteAll(SerializeMuxFrame(frame));
+    if (!status.ok()) write_broken = true;
+    return status;
   }
-  return v;
-}
+
+  /// Best-effort RST; write errors just mark the connection broken.
+  void SendRst(uint32_t stream_id, MuxRstCode code, std::string_view message) {
+    MuxFrame rst;
+    rst.stream_id = stream_id;
+    rst.type = MuxFrameType::kRst;
+    rst.payload = MakeRstPayload(code, message);
+    MutexLock lock(write_mu);
+    (void)WriteFrameLocked(rst);
+  }
+};
 
 }  // namespace
-
-std::string SerializeMuxFrame(uint32_t stream_id, std::string_view payload) {
-  std::string out;
-  out.reserve(kMuxFrameHeaderSize + payload.size());
-  PutU32(&out, stream_id);
-  PutU32(&out, static_cast<uint32_t>(payload.size()));
-  out.append(payload);
-  return out;
-}
-
-Result<std::pair<uint32_t, std::string>> ReadMuxFrame(
-    net::BufferedReader* reader) {
-  std::string head;
-  DAVIX_RETURN_IF_ERROR(reader->ReadExact(&head, kMuxFrameHeaderSize));
-  uint32_t stream_id = GetU32(head.data());
-  uint32_t length = GetU32(head.data() + 4);
-  if (length > kMaxMuxPayload) {
-    return Status::ProtocolError("mux frame too large");
-  }
-  std::string payload;
-  DAVIX_RETURN_IF_ERROR(reader->ReadExact(&payload, length));
-  return std::make_pair(stream_id, std::move(payload));
-}
-
-Result<http::HttpResponse> ParseResponsePayload(std::string payload) {
-  net::StringSource source(std::move(payload));
-  net::BufferedReader reader(&source);
-  DAVIX_ASSIGN_OR_RETURN(http::HttpResponse response,
-                         http::MessageReader::ReadResponseHead(&reader));
-  DAVIX_RETURN_IF_ERROR(
-      http::MessageReader::ReadResponseBody(&reader, false, &response));
-  return response;
-}
-
-Result<http::HttpRequest> ParseRequestPayload(std::string payload) {
-  net::StringSource source(std::move(payload));
-  net::BufferedReader reader(&source);
-  DAVIX_ASSIGN_OR_RETURN(http::HttpRequest request,
-                         http::MessageReader::ReadRequestHead(&reader));
-  DAVIX_RETURN_IF_ERROR(
-      http::MessageReader::ReadRequestBody(&reader, &request));
-  return request;
-}
-
-// ----------------------------------------------------------------- server
 
 MuxServer::MuxServer(MuxServerConfig config,
                      std::shared_ptr<httpd::Router> router)
@@ -84,6 +66,12 @@ Result<std::unique_ptr<MuxServer>> MuxServer::Start(
     MuxServerConfig config, std::shared_ptr<httpd::Router> router) {
   std::unique_ptr<MuxServer> server(
       new MuxServer(std::move(config), std::move(router)));
+  if (server->config_.max_streams_per_connection == 0) {
+    server->config_.max_streams_per_connection = 128;
+  }
+  if (server->config_.data_chunk_bytes == 0) {
+    server->config_.data_chunk_bytes = kMuxDataChunkBytes;
+  }
   DAVIX_ASSIGN_OR_RETURN(server->listener_,
                          net::TcpListener::Listen(server->config_.port));
   {
@@ -97,7 +85,7 @@ Result<std::unique_ptr<MuxServer>> MuxServer::Start(
 MuxServer::~MuxServer() { Stop(); }
 
 std::string MuxServer::BaseUrl() const {
-  return "muxhttp://127.0.0.1:" + std::to_string(port());
+  return "http://127.0.0.1:" + std::to_string(port());
 }
 
 void MuxServer::Stop() {
@@ -140,44 +128,134 @@ void MuxServer::HandleConnection(net::TcpSocket socket) {
     active_fds_.insert(socket.fd());
   }
   (void)socket.SetNoDelay(true);
-  netsim::ConnectionShaper shaper(config_.link);
-  Mutex shaper_mu;
-  Mutex write_mu;
+  ConnState conn(&socket, config_.link);
   net::BufferedReader reader(&socket, config_.idle_timeout_micros);
+  MuxStreamAssembler assembler(MuxStreamAssembler::Mode::kRequest);
   ThreadPool workers(kWorkersPerConnection);
 
   while (!stopping_.load(std::memory_order_relaxed)) {
-    Result<std::pair<uint32_t, std::string>> frame = ReadMuxFrame(&reader);
+    Result<MuxFrame> frame = ReadMuxFrame(&reader);
     if (!frame.ok()) break;
-    stats_.requests_handled.fetch_add(1, std::memory_order_relaxed);
-    uint32_t stream_id = frame->first;
     int64_t request_bytes =
-        static_cast<int64_t>(kMuxFrameHeaderSize + frame->second.size());
+        static_cast<int64_t>(kMuxFrameHeaderSize + frame->payload.size());
 
-    auto task = [&, stream_id, payload = std::move(frame->second),
-                 request_bytes]() mutable {
-      http::HttpResponse response;
-      Result<http::HttpRequest> request =
-          ParseRequestPayload(std::move(payload));
-      if (request.ok()) {
-        router_->Dispatch(*request, &response);
-      } else {
-        response.status_code = 400;
-        response.body = request.status().ToString() + "\n";
+    // A client RST is a cancel: record it so workers already streaming
+    // the response stop at the next frame boundary, and let the
+    // assembler drop any half-received request state.
+    if (frame->type == MuxFrameType::kRst) {
+      Result<MuxRstInfo> rst = ParseMuxRstPayload(frame->payload);
+      if (rst.ok() && rst->code == MuxRstCode::kCancelled) {
+        MutexLock lock(conn.write_mu);
+        conn.cancelled.insert(frame->stream_id);
+        stats_.streams_cancelled.fetch_add(1, std::memory_order_relaxed);
       }
-      response.headers.Set("Server", "davix-muxhttp/1.0");
-      std::string wire =
-          SerializeMuxFrame(stream_id, response.Serialize());
+      (void)assembler.OnFrame(std::move(*frame));
+      continue;
+    }
+
+    Result<std::optional<MuxStreamAssembler::Event>> event =
+        assembler.OnFrame(std::move(*frame));
+    if (!event.ok()) break;  // framing sync lost: drop the connection
+    if (!event->has_value()) continue;
+    MuxStreamAssembler::Event& ev = **event;
+    if (ev.stream_error.has_value()) {
+      stats_.streams_reset.fetch_add(1, std::memory_order_relaxed);
+      conn.SendRst(ev.stream_id, MuxRstCode::kProtocolError,
+                   ev.stream_error->message());
+      continue;
+    }
+    if (!ev.request.has_value()) continue;
+
+    if (conn.active_exchanges.load(std::memory_order_relaxed) >=
+        static_cast<int64_t>(config_.max_streams_per_connection)) {
+      stats_.streams_refused.fetch_add(1, std::memory_order_relaxed);
+      conn.SendRst(ev.stream_id, MuxRstCode::kRefusedStream,
+                   "stream limit reached");
+      continue;
+    }
+    stats_.requests_handled.fetch_add(1, std::memory_order_relaxed);
+    conn.active_exchanges.fetch_add(1, std::memory_order_relaxed);
+
+    auto task = [this, &conn, stream_id = ev.stream_id,
+                 request = std::move(*ev.request), request_bytes]() mutable {
+      netsim::FaultRule fault;
+      if (config_.faults != nullptr) {
+        std::string path = request.target.substr(0, request.target.find('?'));
+        fault = config_.faults->Decide(path);
+      }
+      bool drop_connection_after = false;
+      size_t truncate_at_frames = 0;  // 0 = no truncation
+      http::HttpResponse response;
+      switch (fault.action) {
+        case netsim::FaultAction::kRefuseConnection:
+          ::shutdown(conn.socket->fd(), SHUT_RDWR);
+          conn.active_exchanges.fetch_sub(1, std::memory_order_relaxed);
+          return;
+        case netsim::FaultAction::kStall:
+          SleepForMicros(fault.stall_micros);
+          ::shutdown(conn.socket->fd(), SHUT_RDWR);
+          conn.active_exchanges.fetch_sub(1, std::memory_order_relaxed);
+          return;
+        case netsim::FaultAction::kServerError:
+        case netsim::FaultAction::kRetryAfter:
+          response.status_code = 503;
+          response.body = "injected fault\n";
+          if (fault.action == netsim::FaultAction::kRetryAfter) {
+            response.headers.Set(
+                "Retry-After", std::to_string(fault.retry_after_seconds));
+          }
+          break;
+        case netsim::FaultAction::kTruncateBody:
+          router_->Dispatch(request, &response);
+          drop_connection_after = true;
+          break;
+        default:
+          router_->Dispatch(request, &response);
+          break;
+      }
+      response.headers.Set("Server", "davix-muxhttp/2.0");
+      std::string head = response.SerializeHead(response.body.size());
+      std::vector<MuxFrame> frames =
+          FrameMessage(stream_id, std::move(head), response.body,
+                       config_.data_chunk_bytes);
+      if (fault.action == netsim::FaultAction::kTruncateBody &&
+          frames.size() > 1) {
+        // Head plus half the DATA frames, then the connection dies:
+        // the client sees a reset mid-body, never a short "complete"
+        // response.
+        truncate_at_frames = 1 + (frames.size() - 1) / 2;
+      }
+
       netsim::ConnectionShaper::ExchangePlan plan;
+      int64_t response_bytes = 0;
+      for (const MuxFrame& f : frames) {
+        response_bytes +=
+            static_cast<int64_t>(kMuxFrameHeaderSize + f.payload.size());
+      }
       {
-        MutexLock lock(shaper_mu);
-        plan = shaper.PlanExchange(request_bytes,
-                                   static_cast<int64_t>(wire.size()));
+        MutexLock lock(conn.shaper_mu);
+        plan = conn.shaper.PlanExchange(request_bytes, response_bytes);
       }
       SleepForMicros(plan.latency_micros);
-      MutexLock lock(write_mu);
-      SleepForMicros(plan.bandwidth_micros);
-      (void)socket.WriteAll(wire);
+      // Bandwidth cost is paid per frame under the write lock: the wire
+      // is serialised, but other streams' frames slot in between ours —
+      // the interleaving the protocol exists for.
+      int64_t per_frame_bandwidth =
+          plan.bandwidth_micros / static_cast<int64_t>(frames.size());
+      size_t sent = 0;
+      for (const MuxFrame& f : frames) {
+        if (truncate_at_frames > 0 && sent >= truncate_at_frames) break;
+        MutexLock lock(conn.write_mu);
+        if (conn.cancelled.count(stream_id) > 0) {
+          conn.cancelled.erase(stream_id);
+          break;
+        }
+        SleepForMicros(per_frame_bandwidth);
+        if (!conn.WriteFrameLocked(f).ok()) break;
+        ++sent;
+      }
+      if (drop_connection_after) ::shutdown(conn.socket->fd(), SHUT_RDWR);
+      conn.active_exchanges.fetch_sub(1, std::memory_order_relaxed);
     };
     if (!workers.Submit(std::move(task))) break;
   }
@@ -187,107 +265,6 @@ void MuxServer::HandleConnection(net::TcpSocket socket) {
     active_fds_.erase(socket.fd());
   }
   socket.Close();
-}
-
-// ----------------------------------------------------------------- client
-
-Result<std::unique_ptr<MuxClient>> MuxClient::Connect(
-    const std::string& host, uint16_t port,
-    int64_t operation_timeout_micros) {
-  DAVIX_ASSIGN_OR_RETURN(net::SocketAddress address,
-                         net::SocketAddress::Resolve(host, port));
-  DAVIX_ASSIGN_OR_RETURN(net::TcpSocket socket,
-                         net::TcpSocket::Connect(address));
-  (void)socket.SetNoDelay(true);
-  std::unique_ptr<MuxClient> client(new MuxClient());
-  client->socket_ = std::make_unique<net::TcpSocket>(std::move(socket));
-  client->reader_ = std::make_unique<net::BufferedReader>(
-      client->socket_.get(), operation_timeout_micros);
-  client->alive_.store(true, std::memory_order_relaxed);
-  client->reader_thread_ = std::thread([c = client.get()] { c->ReaderLoop(); });
-  return client;
-}
-
-MuxClient::~MuxClient() {
-  stopping_.store(true, std::memory_order_relaxed);
-  if (socket_ != nullptr && socket_->IsOpen()) {
-    ::shutdown(socket_->fd(), SHUT_RDWR);
-  }
-  if (reader_thread_.joinable()) reader_thread_.join();
-  FailAll(Status::Cancelled("client destroyed"));
-}
-
-void MuxClient::ReaderLoop() {
-  while (!stopping_.load(std::memory_order_relaxed)) {
-    Result<std::pair<uint32_t, std::string>> frame =
-        ReadMuxFrame(reader_.get());
-    if (!frame.ok()) {
-      if (!stopping_.load(std::memory_order_relaxed)) {
-        FailAll(frame.status().WithContext("mux connection lost"));
-      }
-      return;
-    }
-    std::promise<Result<http::HttpResponse>> promise;
-    bool found = false;
-    {
-      MutexLock lock(mu_);
-      auto it = pending_.find(frame->first);
-      if (it != pending_.end()) {
-        promise = std::move(it->second);
-        pending_.erase(it);
-        found = true;
-      }
-    }
-    if (!found) continue;
-    promise.set_value(ParseResponsePayload(std::move(frame->second)));
-  }
-}
-
-void MuxClient::FailAll(const Status& status) {
-  alive_.store(false, std::memory_order_relaxed);
-  std::unordered_map<uint32_t, std::promise<Result<http::HttpResponse>>>
-      orphans;
-  {
-    MutexLock lock(mu_);
-    orphans.swap(pending_);
-  }
-  for (auto& [id, promise] : orphans) promise.set_value(status);
-}
-
-std::future<Result<http::HttpResponse>> MuxClient::ExecuteAsync(
-    const http::HttpRequest& request) {
-  std::promise<Result<http::HttpResponse>> failed;
-  if (!alive_.load(std::memory_order_relaxed)) {
-    failed.set_value(Status::ConnectionReset("mux client not connected"));
-    return failed.get_future();
-  }
-  std::future<Result<http::HttpResponse>> future;
-  {
-    MutexLock lock(mu_);
-    while (pending_.count(next_stream_id_) > 0 || next_stream_id_ == 0) {
-      ++next_stream_id_;
-    }
-    uint32_t stream_id = next_stream_id_++;
-    std::promise<Result<http::HttpResponse>> promise;
-    future = promise.get_future();
-    pending_.emplace(stream_id, std::move(promise));
-    std::string wire = SerializeMuxFrame(stream_id, request.Serialize());
-    Status write_status = socket_->WriteAll(wire);
-    if (!write_status.ok()) {
-      auto it = pending_.find(stream_id);
-      std::promise<Result<http::HttpResponse>> orphan = std::move(it->second);
-      pending_.erase(it);
-      orphan.set_value(write_status.WithContext("mux send"));
-      return future;
-    }
-    requests_sent_.fetch_add(1, std::memory_order_relaxed);
-  }
-  return future;
-}
-
-Result<http::HttpResponse> MuxClient::Execute(
-    const http::HttpRequest& request) {
-  return ExecuteAsync(request).get();
 }
 
 }  // namespace muxhttp

@@ -3,65 +3,60 @@
 
 #include <atomic>
 #include <cstdint>
-#include <future>
 #include <memory>
 #include <set>
 #include <string>
 #include <thread>
-#include <unordered_map>
 #include <vector>
 
 #include "common/mutex.h"
 #include "common/status.h"
-#include "http/message.h"
 #include "httpd/router.h"
-#include "net/buffered_reader.h"
+#include "muxhttp/frame.h"
 #include "net/tcp_socket.h"
+#include "netsim/fault_injector.h"
 #include "netsim/link_profile.h"
 
 namespace davix {
 namespace muxhttp {
-
-/// A SPDY-like session layer: full HTTP messages multiplexed as framed
-/// streams over one TCP connection.
-///
-/// §2.2 of the paper evaluates exactly this design ("SPDY acts as a
-/// session layer between HTTP and TCP. It supports multiplexing,
-/// prioritization and header compression") and rejects it for davix
-/// because it requires protocol changes on both ends (and, in real
-/// SPDY, mandatory TLS). This module implements the rejected
-/// alternative so the trade-off — one connection and no head-of-line
-/// blocking, but no compatibility with stock HTTP infrastructure — can
-/// be measured instead of argued.
-///
-/// Wire format per frame: u32 stream_id | u32 payload length | payload,
-/// where the payload is a complete serialised HTTP/1.1 message.
-constexpr size_t kMuxFrameHeaderSize = 8;
-constexpr uint32_t kMaxMuxPayload = 256 * 1024 * 1024;
-
-/// Serialises one frame.
-std::string SerializeMuxFrame(uint32_t stream_id, std::string_view payload);
-
-/// Reads one frame; the payload is returned raw.
-Result<std::pair<uint32_t, std::string>> ReadMuxFrame(
-    net::BufferedReader* reader);
 
 /// Listener knobs of the multiplexed server; port 0 = ephemeral.
 struct MuxServerConfig {
   uint16_t port = 0;
   netsim::LinkProfile link = netsim::LinkProfile::Loopback();
   int64_t idle_timeout_micros = 30'000'000;
+  /// Concurrent exchanges per connection before new streams are refused
+  /// with RST kRefusedStream (the client retries on another connection).
+  size_t max_streams_per_connection = 128;
+  /// Body bytes per DATA frame; 0 = kMuxDataChunkBytes. Small chunks
+  /// make interleaving visible (each chunk releases the write lock).
+  size_t data_chunk_bytes = 0;
+  /// Optional fault injection, evaluated per completed request against
+  /// the request target. Supports kRefuseConnection (drop the whole
+  /// connection), kServerError / kRetryAfter (503 on the stream),
+  /// kStall (sleep, then drop the connection), kTruncateBody (send the
+  /// head and half the DATA frames, then drop the connection).
+  std::shared_ptr<netsim::FaultInjector> faults;
 };
 
 /// Monotonic server-side counters (thread-safe).
 struct MuxServerStats {
   std::atomic<uint64_t> connections_accepted{0};
   std::atomic<uint64_t> requests_handled{0};
+  /// RST kRefusedStream sent: the per-connection stream limit was hit.
+  std::atomic<uint64_t> streams_refused{0};
+  /// RST kProtocolError sent for per-stream violations.
+  std::atomic<uint64_t> streams_reset{0};
+  /// Client RST kCancelled honored (remaining DATA frames suppressed).
+  std::atomic<uint64_t> streams_cancelled{0};
 };
 
-/// Server side: decodes request frames, dispatches them to the same
-/// Router type the plain HTTP server uses (so a DavHandler serves both
-/// protocols), and answers out of order — no head-of-line blocking.
+/// Server side of the framed mux protocol (muxhttp/frame.h): decodes
+/// interleaved request streams, dispatches each completed request to
+/// the same Router type the plain HTTP server uses (so a DavHandler
+/// serves both protocols), and answers out of order — responses are
+/// chunked into DATA frames that interleave across streams, so a large
+/// response never head-of-line blocks a small one.
 ///
 /// Thread-safe: yes — Stop() may be called concurrently from any number
 /// of threads; each returns only once teardown has completed.
@@ -77,6 +72,8 @@ class MuxServer {
 
   void Stop();
   uint16_t port() const { return listener_.port(); }
+  /// Plain http:// URL — the mux protocol is an alternative transport
+  /// for the same namespace, selected by RequestParams::transport.
   std::string BaseUrl() const;
   MuxServerStats& stats() { return stats_; }
 
@@ -100,61 +97,6 @@ class MuxServer {
   std::vector<std::thread> connection_threads_ GUARDED_BY(conn_mu_);
   std::set<int> active_fds_ GUARDED_BY(conn_mu_);
 };
-
-/// Client side: one connection, any number of outstanding requests.
-/// Execute returns a future resolving when the matching response frame
-/// arrives, in whatever order the server finishes.
-///
-/// Thread-safe: yes — Execute/ExecuteAsync may be called from any
-/// thread; one internal mutex serialises stream allocation and writes.
-class MuxClient {
- public:
-  static Result<std::unique_ptr<MuxClient>> Connect(
-      const std::string& host, uint16_t port,
-      int64_t operation_timeout_micros = 120'000'000);
-
-  ~MuxClient();
-
-  MuxClient(const MuxClient&) = delete;
-  MuxClient& operator=(const MuxClient&) = delete;
-
-  /// Sends a request on a fresh stream.
-  std::future<Result<http::HttpResponse>> ExecuteAsync(
-      const http::HttpRequest& request);
-
-  /// Convenience synchronous form.
-  Result<http::HttpResponse> Execute(const http::HttpRequest& request);
-
-  bool IsAlive() const { return alive_.load(std::memory_order_relaxed); }
-  uint64_t requests_sent() const {
-    return requests_sent_.load(std::memory_order_relaxed);
-  }
-
- private:
-  MuxClient() = default;
-
-  void ReaderLoop();
-  void FailAll(const Status& status);
-
-  std::unique_ptr<net::TcpSocket> socket_;
-  std::unique_ptr<net::BufferedReader> reader_;
-  std::thread reader_thread_;
-  std::atomic<bool> alive_{false};
-  std::atomic<bool> stopping_{false};
-  std::atomic<uint64_t> requests_sent_{0};
-
-  Mutex mu_;
-  std::unordered_map<uint32_t, std::promise<Result<http::HttpResponse>>>
-      pending_ GUARDED_BY(mu_);
-  uint32_t next_stream_id_ GUARDED_BY(mu_) = 1;
-};
-
-/// Parses a complete serialised HTTP response held in memory (a mux
-/// frame payload).
-Result<http::HttpResponse> ParseResponsePayload(std::string payload);
-
-/// Parses a complete serialised HTTP request held in memory.
-Result<http::HttpRequest> ParseRequestPayload(std::string payload);
 
 }  // namespace muxhttp
 }  // namespace davix

@@ -11,6 +11,8 @@
 #include "http/multipart.h"
 #include "http/range.h"
 #include "metalink/metalink.h"
+#include "muxhttp/frame.h"
+#include "net/byte_source.h"
 #include "netsim/fault_injector.h"
 #include "root/tree_format.h"
 #include "test_util.h"
@@ -279,6 +281,117 @@ TEST_P(FaultWindowFuzzTest, RandomWindowedRulesNeverCrashAndGateCorrectly) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FaultWindowFuzzTest,
                          ::testing::Range<uint64_t>(1, 9));
+
+class MuxFrameFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MuxFrameFuzzTest, CorruptFrameStreamsNeverCrashOrOverRead) {
+  // The mux frame decoder + demux state machine, fed the server's diet:
+  // a valid interleaved multi-stream request sequence with random
+  // corruption applied. Every outcome must be clean — a decoded
+  // message, a per-stream error, or a connection-fatal error — and the
+  // decoder must never fabricate bytes or walk past the input.
+  Rng rng(GetParam());
+  for (int round = 0; round < 20; ++round) {
+    std::string wire;
+    size_t streams = 1 + rng.Below(3);
+    for (size_t s = 0; s < streams; ++s) {
+      http::HttpRequest request;
+      request.method = rng.Chance(0.5) ? http::Method::kGet
+                                       : http::Method::kPut;
+      request.target = "/fuzz/" + std::to_string(s);
+      request.headers.Set("Host", "fuzz");
+      std::string body = rng.Bytes(rng.Below(600));
+      for (muxhttp::MuxFrame& frame : muxhttp::FrameMessage(
+               static_cast<uint32_t>(s + 1),
+               request.SerializeHead(body.size()), body,
+               64 + rng.Below(200))) {
+        wire += muxhttp::SerializeMuxFrame(frame);
+      }
+    }
+    std::string corrupted = Corrupt(wire, &rng);
+    net::StringSource source(corrupted);
+    net::BufferedReader reader(&source);
+    muxhttp::MuxStreamAssembler assembler(
+        muxhttp::MuxStreamAssembler::Mode::kRequest);
+    for (int frames = 0; frames < 10'000; ++frames) {
+      auto frame = muxhttp::ReadMuxFrame(&reader);
+      if (!frame.ok()) break;  // truncation / garbled header: clean error
+      auto event = assembler.OnFrame(std::move(*frame));
+      if (!event.ok()) break;  // connection-fatal: clean teardown
+      if (event->has_value() && (*event)->request.has_value()) {
+        // A message that survived must be carved from the input, never
+        // invented: its body cannot exceed what went in.
+        EXPECT_LE((*event)->request->body.size(), corrupted.size());
+      }
+    }
+    EXPECT_LE(reader.bytes_consumed(), corrupted.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MuxFrameFuzzTest,
+                         ::testing::Range<uint64_t>(1, 17));
+
+TEST(MuxFrameDirectedTest, EveryTruncationErrorsCleanly) {
+  std::string wire =
+      muxhttp::SerializeMuxFrame(7, muxhttp::MuxFrameType::kData, 0,
+                                 "abcdef");
+  for (size_t cut = 0; cut < wire.size(); ++cut) {
+    net::StringSource source(wire.substr(0, cut));
+    net::BufferedReader reader(&source);
+    Result<muxhttp::MuxFrame> result = muxhttp::ReadMuxFrame(&reader);
+    EXPECT_FALSE(result.ok()) << "prefix of " << cut << " bytes parsed";
+  }
+}
+
+TEST(MuxFrameDirectedTest, OversizedLengthNeverConsumesPastHeader) {
+  // Header claims ~4 GiB; 100 bytes of junk follow. The decoder must
+  // reject on the declared length alone, consuming exactly the header.
+  std::string wire =
+      muxhttp::SerializeMuxFrame(1, muxhttp::MuxFrameType::kData, 0, "");
+  wire[6] = wire[7] = wire[8] = wire[9] = static_cast<char>(0xFF);
+  wire += std::string(100, 'x');
+  net::StringSource source(wire);
+  net::BufferedReader reader(&source);
+  Result<muxhttp::MuxFrame> result = muxhttp::ReadMuxFrame(&reader);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kProtocolError);
+  EXPECT_EQ(reader.bytes_consumed(), muxhttp::kMuxFrameHeaderSize);
+}
+
+TEST(MuxFrameDirectedTest, DuplicateStreamIdHeadersIsConnectionFatal) {
+  muxhttp::MuxStreamAssembler assembler(
+      muxhttp::MuxStreamAssembler::Mode::kRequest);
+  http::HttpRequest request;
+  request.method = http::Method::kPut;
+  request.target = "/dup";
+  std::string head = request.SerializeHead(64);
+  ASSERT_OK(assembler.OnFrame({5, muxhttp::MuxFrameType::kHeaders, 0, head})
+                .status());
+  Result<std::optional<muxhttp::MuxStreamAssembler::Event>> dup =
+      assembler.OnFrame({5, muxhttp::MuxFrameType::kHeaders, 0, head});
+  EXPECT_FALSE(dup.ok());
+}
+
+TEST(MuxFrameDirectedTest, UnknownTypeAndFlagBitsRejected) {
+  for (uint8_t type : {uint8_t{0}, uint8_t{4}, uint8_t{0x7F}, uint8_t{0xFF}}) {
+    std::string wire =
+        muxhttp::SerializeMuxFrame(3, muxhttp::MuxFrameType::kData, 0, "z");
+    wire[4] = static_cast<char>(type);
+    net::StringSource source(wire);
+    net::BufferedReader reader(&source);
+    EXPECT_EQ(muxhttp::ReadMuxFrame(&reader).status().code(),
+              StatusCode::kProtocolError);
+  }
+  for (uint8_t flags : {uint8_t{0x02}, uint8_t{0x80}, uint8_t{0xFE}}) {
+    std::string wire =
+        muxhttp::SerializeMuxFrame(3, muxhttp::MuxFrameType::kData, 0, "z");
+    wire[5] = static_cast<char>(flags);
+    net::StringSource source(wire);
+    net::BufferedReader reader(&source);
+    EXPECT_EQ(muxhttp::ReadMuxFrame(&reader).status().code(),
+              StatusCode::kProtocolError);
+  }
+}
 
 }  // namespace
 }  // namespace davix

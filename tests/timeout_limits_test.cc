@@ -11,6 +11,7 @@
 #include "core/context.h"
 #include "core/dav_file.h"
 #include "core/http_client.h"
+#include "core/mux_transport.h"
 #include "core/resilience.h"
 #include "muxhttp/mux.h"
 #include "netsim/shaper.h"
@@ -341,10 +342,15 @@ TEST(TimeoutTest, XrdClientTimesOutOnStalledServer) {
   EXPECT_LT(stopwatch.ElapsedSeconds(), 2.0);
 }
 
-TEST(TimeoutTest, MuxClientConnectToDeadPortFails) {
-  Result<std::unique_ptr<muxhttp::MuxClient>> client =
-      muxhttp::MuxClient::Connect("127.0.0.1", 1);
-  EXPECT_FALSE(client.ok());
+TEST(TimeoutTest, MuxConnectionToDeadPortFailsWithinBudget) {
+  core::RequestParams params;
+  params.connect_timeout_micros = 500'000;
+  Stopwatch stopwatch;
+  Result<std::shared_ptr<core::MuxConnection>> connection =
+      core::MuxConnection::Connect(*Uri::Parse("http://127.0.0.1:1/"),
+                                   params);
+  EXPECT_FALSE(connection.ok());
+  EXPECT_LT(stopwatch.ElapsedSeconds(), 2.0);
 }
 
 // ------------------------------------------------------ shaper properties
