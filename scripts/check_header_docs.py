@@ -16,6 +16,11 @@ doxygen pass would need, using nothing but the standard library:
      contract: the doc block above it must contain a "Thread-safe:"
      line (see docs/CONCURRENCY.md).
 
+Rules 2 and 3 also apply to .cc files under src/: implementation-local
+types (dispatch state blocks, worker records) hold mutexes too, and
+their sharing contract is exactly what the next reader needs. Rule 1
+stays header-only — internal helpers do not need API docs.
+
 Forward declarations (`struct Foo;`) are exempt. Exit status 0 = clean,
 1 = violations (listed on stderr).
 """
@@ -34,14 +39,16 @@ ALT_DOC_RE = re.compile(r"(^|\s)(//!|/\*!)")
 MUTEX_MEMBER_RE = re.compile(r"^\s*(?:mutable\s+)?Mutex\s+\w+")
 
 
-def header_files():
-    for path in sorted((REPO_ROOT / "src").rglob("*.h")):
-        if not SKIP_DIRS.intersection(p.name for p in path.parents):
-            yield path
+def source_files():
+    for pattern in ("*.h", "*.cc"):
+        for path in sorted((REPO_ROOT / "src").rglob(pattern)):
+            if not SKIP_DIRS.intersection(p.name for p in path.parents):
+                yield path
 
 
 def check_file(path: pathlib.Path):
     problems = []
+    is_header = path.suffix == ".h"
     lines = path.read_text(encoding="utf-8").splitlines()
     for i, line in enumerate(lines):
         if ALT_DOC_RE.search(line):
@@ -55,7 +62,8 @@ def check_file(path: pathlib.Path):
         while j >= 0 and (not lines[j].strip()
                           or PASSTHROUGH_RE.match(lines[j])):
             j -= 1
-        if j < 0 or not lines[j].lstrip().startswith("//"):
+        has_doc = j >= 0 and lines[j].lstrip().startswith("//")
+        if not has_doc and is_header:
             problems.append(
                 (i + 1, f"undocumented type '{match.group(1)}' "
                         "(add a /// comment block above it)"))
@@ -94,7 +102,7 @@ def holds_mutex(lines, decl_index):
 def main() -> int:
     any_bad = False
     checked = 0
-    for path in header_files():
+    for path in source_files():
         checked += 1
         for lineno, message in check_file(path):
             any_bad = True
@@ -102,7 +110,7 @@ def main() -> int:
             print(f"{rel}:{lineno}: {message}", file=sys.stderr)
     if any_bad:
         return 1
-    print(f"header docs OK ({checked} headers)")
+    print(f"header docs OK ({checked} files)")
     return 0
 
 

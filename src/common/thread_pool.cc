@@ -50,6 +50,9 @@ namespace {
 /// hold it by shared_ptr: a helper that only gets scheduled after the
 /// call already returned (every index claimed by faster executors) finds
 /// nothing to do and exits without touching the caller's frame.
+///
+/// Thread-safe: yes — `mu` guards the claim cursor and completion
+/// counters; `n` and `fn` are immutable after construction.
 struct ParallelState {
   Mutex mu;
   CondVar cv;

@@ -24,6 +24,10 @@ namespace core {
 /// Shared state of one parallel vectored dispatch: every batch worker
 /// reports errors here, and the first batch to receive a 200 (server
 /// ignored the Range header) parks the full entity for its siblings.
+///
+/// Thread-safe: yes — `mu` guards the error slot, `full_body` is
+/// published once via the release/acquire pair on `have_full_body`, and
+/// the remaining members are immutable for the dispatch's duration.
 struct VecDispatchState {
   Mutex mu;
   Status first_error GUARDED_BY(mu) = Status::OK();
@@ -285,6 +289,22 @@ Result<std::vector<std::string>> DavFile::ReadPartialVec(
       });
 }
 
+std::future<Result<std::vector<std::string>>> DavFile::ReadPartialVecAsync(
+    const std::vector<http::ByteRange>& ranges, const RequestParams& params) {
+  // The task owns copies of the ranges and params; `this` stays valid by
+  // the contract documented in the header. Sharing the packaged_task lets
+  // the submit closure stay copyable.
+  auto task = std::make_shared<
+      std::packaged_task<Result<std::vector<std::string>>()>>(
+      [this, ranges, params]() { return ReadPartialVec(ranges, params); });
+  std::future<Result<std::vector<std::string>>> future = task->get_future();
+  if (!context_->dispatcher().Submit([task]() { (*task)(); })) {
+    // Dispatcher shutting down: run inline so the future still resolves.
+    (*task)();
+  }
+  return future;
+}
+
 Status DavFile::RevalidateCached(const Uri& replica,
                                  const RequestParams& params,
                                  BlockCache* cache,
@@ -407,8 +427,14 @@ Result<std::vector<std::string>> DavFile::ReadPartialVecAt(
     }
     return results;
   }
+  // Multi-stream chunking: re-split big contiguous runs and cap batch
+  // bytes so one large read fans out across the parallel dispatcher
+  // instead of riding a single connection's congestion window.
+  coalesced = SplitOversized(std::move(coalesced), wire_view,
+                             params.vector_parallel_chunk_bytes);
   std::vector<std::vector<CoalescedRange>> batches =
-      SplitBatches(std::move(coalesced), params.max_ranges_per_request);
+      SplitBatches(std::move(coalesced), params.max_ranges_per_request,
+                   params.vector_parallel_chunk_bytes);
 
   // Zero-copy scatter: size every result slot up front so concurrent
   // batch workers write payload bytes straight into them — no allocation

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <future>
 #include <memory>
 #include <string>
 #include <vector>
@@ -97,6 +98,22 @@ class DavFile {
   /// batch sees the full entity, the remaining batches are satisfied
   /// locally from it without further wire traffic.
   Result<std::vector<std::string>> ReadPartialVec(
+      const std::vector<http::ByteRange>& ranges,
+      const RequestParams& params = {});
+
+  /// Asynchronous form of ReadPartialVec: schedules the identical
+  /// vectored dispatch (cache carve-out, coalescing, parallel batches,
+  /// replica striping, deadlines/retries/breakers, the transport seam)
+  /// on the Context's dispatcher pool and returns immediately; the
+  /// future resolves to exactly what the synchronous call would have
+  /// returned. Degrades to a synchronous inline read when the
+  /// dispatcher is shutting down, so the future is always valid.
+  ///
+  /// Safe to call concurrently with any other read on this file — the
+  /// underlying HttpClient and session pool are thread-safe. The caller
+  /// must keep this DavFile (and its Context) alive until the future
+  /// has been waited on or discarded after completion.
+  std::future<Result<std::vector<std::string>>> ReadPartialVecAsync(
       const std::vector<http::ByteRange>& ranges,
       const RequestParams& params = {});
 

@@ -153,6 +153,14 @@ struct RequestParams {
   /// SessionPoolConfig::max_idle_per_host so the connection burst can be
   /// parked and recycled afterwards instead of being torn down.
   size_t max_parallel_range_requests = 0;
+  /// Multi-stream chunking for vectored reads (the §2.4 multi-stream idea
+  /// applied to the §2.3 vector path): when > 0, coalesced wire ranges
+  /// larger than this are re-split at user-range boundaries and batches
+  /// are capped at roughly this many bytes, so one large contiguous read
+  /// fans out across parallel sessions instead of being throughput-bound
+  /// by a single connection's congestion window. 0 (default) keeps the
+  /// classic one-wire-range-per-contiguous-run behaviour.
+  uint64_t vector_parallel_chunk_bytes = 0;
 
   // --- §2.4: metalink --------------------------------------------------
   MetalinkMode metalink_mode = MetalinkMode::kFailover;

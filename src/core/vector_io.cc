@@ -43,17 +43,64 @@ std::vector<CoalescedRange> CoalesceRanges(
   return out;
 }
 
+std::vector<CoalescedRange> SplitOversized(
+    std::vector<CoalescedRange> coalesced,
+    const std::vector<http::ByteRange>& requested, uint64_t max_chunk_bytes) {
+  if (max_chunk_bytes == 0) return coalesced;
+  std::vector<CoalescedRange> out;
+  out.reserve(coalesced.size());
+  for (CoalescedRange& wire : coalesced) {
+    if (wire.range.length <= max_chunk_bytes || wire.sources.size() < 2) {
+      out.push_back(std::move(wire));
+      continue;
+    }
+    // Sources were appended in offset order by CoalesceRanges; walk them
+    // into consecutive runs. A chunk's wire range spans from its first
+    // source's offset to the furthest source end seen, so every source
+    // stays fully contained in exactly one chunk (overlapping sources may
+    // make adjacent chunks overlap on the wire; scatter stays correct).
+    CoalescedRange chunk;
+    uint64_t chunk_end = 0;
+    for (size_t idx : wire.sources) {
+      const http::ByteRange& user = requested[idx];
+      uint64_t user_end = user.offset + user.length;
+      if (!chunk.sources.empty() &&
+          std::max(chunk_end, user_end) - chunk.range.offset >
+              max_chunk_bytes) {
+        chunk.range.length = chunk_end - chunk.range.offset;
+        out.push_back(std::move(chunk));
+        chunk = CoalescedRange{};
+      }
+      if (chunk.sources.empty()) {
+        chunk.range.offset = user.offset;
+        chunk_end = user_end;
+      } else {
+        chunk_end = std::max(chunk_end, user_end);
+      }
+      chunk.sources.push_back(idx);
+    }
+    chunk.range.length = chunk_end - chunk.range.offset;
+    out.push_back(std::move(chunk));
+  }
+  return out;
+}
+
 std::vector<std::vector<CoalescedRange>> SplitBatches(
-    std::vector<CoalescedRange> coalesced, size_t max_per_batch) {
+    std::vector<CoalescedRange> coalesced, size_t max_per_batch,
+    uint64_t max_bytes_per_batch) {
   if (max_per_batch == 0) max_per_batch = 1;
   std::vector<std::vector<CoalescedRange>> batches;
   std::vector<CoalescedRange> current;
+  uint64_t current_bytes = 0;
   current.reserve(std::min(coalesced.size(), max_per_batch));
   for (CoalescedRange& wire : coalesced) {
+    current_bytes += wire.range.length;
     current.push_back(std::move(wire));
-    if (current.size() == max_per_batch) {
+    if (current.size() == max_per_batch ||
+        (max_bytes_per_batch > 0 && current_bytes >= max_bytes_per_batch)) {
       batches.push_back(std::move(current));
       current.clear();
+      current_bytes = 0;
     }
   }
   if (!current.empty()) batches.push_back(std::move(current));

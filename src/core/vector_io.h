@@ -35,10 +35,27 @@ struct CoalescedRange {
 std::vector<CoalescedRange> CoalesceRanges(
     const std::vector<http::ByteRange>& requested, uint64_t max_gap);
 
+/// Re-splits oversized wire ranges for multi-stream dispatch: a coalesced
+/// range longer than `max_chunk_bytes` is cut back into consecutive runs
+/// of its source ranges, each run spanning at most `max_chunk_bytes`
+/// (always at least one source per chunk, so a single huge user range is
+/// never split — scatter slots are filled exactly once). Cuts land only
+/// on source boundaries, preserving the CoalesceRanges containment
+/// invariant. `max_chunk_bytes == 0` returns the input unchanged.
+/// `requested` must be the same user vector the ranges were coalesced
+/// from (source extents are re-read to place the cuts).
+std::vector<CoalescedRange> SplitOversized(
+    std::vector<CoalescedRange> coalesced,
+    const std::vector<http::ByteRange>& requested, uint64_t max_chunk_bytes);
+
 /// Splits the coalesced ranges into batches of at most `max_per_batch`
-/// wire ranges — one batch becomes one HTTP multi-range request.
+/// wire ranges — one batch becomes one HTTP multi-range request. When
+/// `max_bytes_per_batch` > 0 a batch is also closed once it reaches that
+/// many wire bytes (a batch always takes at least one range), so chunked
+/// vectors dispatch as several concurrent wire requests.
 std::vector<std::vector<CoalescedRange>> SplitBatches(
-    std::vector<CoalescedRange> coalesced, size_t max_per_batch);
+    std::vector<CoalescedRange> coalesced, size_t max_per_batch,
+    uint64_t max_bytes_per_batch = 0);
 
 /// Copies the bytes of one fetched wire range into the user result slots
 /// it covers. `data` must be exactly `wire.range.length` bytes.

@@ -20,6 +20,10 @@ constexpr size_t kWorkersPerConnection = 8;
 /// thread) and the response workers. Lives on HandleConnection's stack;
 /// workers.Shutdown() runs before it goes out of scope, so references
 /// captured by worker tasks never dangle.
+///
+/// Thread-safe: yes — `write_mu` serialises socket writes and guards the
+/// broken flag and cancel set; `shaper_mu` guards the shared shaper; the
+/// socket pointer and link profile are immutable per connection.
 struct ConnState {
   ConnState(net::TcpSocket* socket, const netsim::LinkProfile& link)
       : socket(socket), shaper(link) {}

@@ -78,5 +78,13 @@ Result<AnalysisReport> RunAnalysis(RandomAccessFile* file,
   return report;
 }
 
+Result<AnalysisReport> RunAnalysisOnUrl(const std::string& url,
+                                        const AnalysisConfig& config,
+                                        const StorageOpenParams& storage) {
+  DAVIX_ASSIGN_OR_RETURN(std::unique_ptr<RandomAccessFile> file,
+                         OpenStorage(url, storage));
+  return RunAnalysis(file.get(), config);
+}
+
 }  // namespace root
 }  // namespace davix

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "root/storage_adapter.h"
 #include "root/tree_cache.h"
 
 namespace davix {
@@ -42,6 +43,14 @@ struct AnalysisReport {
 /// configured amount of per-event compute.
 Result<AnalysisReport> RunAnalysis(RandomAccessFile* file,
                                    const AnalysisConfig& config);
+
+/// URL form: resolves the transport through the StorageAdapter registry
+/// ("davix://", "davix+mux://", "xrd://", ...) and runs the same job —
+/// how the benchmarks and examples select transports by URL instead of
+/// constructing adapters by hand.
+Result<AnalysisReport> RunAnalysisOnUrl(const std::string& url,
+                                        const AnalysisConfig& config,
+                                        const StorageOpenParams& storage);
 
 }  // namespace root
 }  // namespace davix

@@ -42,9 +42,11 @@ class RandomAccessFile {
       const std::vector<http::ByteRange>& ranges);
 
   /// Whether PReadVecAsync overlaps with the caller (true asynchrony).
-  /// The davix adapter reports false: the paper's davix executes vector
-  /// queries synchronously, while XRootD's multiplexing makes them
-  /// overlappable — the WAN difference in Figure 4.
+  /// The paper's davix executed vector queries synchronously while
+  /// XRootD's multiplexing made them overlappable — the WAN difference
+  /// in Figure 4; here both remote adapters report true (the davix one
+  /// schedules its parallel dispatch on the Context's dispatcher pool)
+  /// and only transports with no async path keep the default false.
   virtual bool SupportsAsyncVec() const { return false; }
 
   /// Starts a vectored read. The default implementation performs the

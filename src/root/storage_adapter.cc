@@ -1,0 +1,174 @@
+#include "root/storage_adapter.h"
+
+#include <utility>
+
+#include "root/transport_adapters.h"
+#include "xrootd/xrd_client.h"
+
+namespace davix {
+namespace root {
+namespace {
+
+/// Splits "scheme://rest" into its parts; empty scheme on malformed URLs.
+bool SplitScheme(const std::string& url, std::string* scheme,
+                 std::string* rest) {
+  size_t sep = url.find("://");
+  if (sep == std::string::npos || sep == 0) return false;
+  *scheme = url.substr(0, sep);
+  *rest = url.substr(sep + 3);
+  return true;
+}
+
+Result<std::unique_ptr<RandomAccessFile>> OpenDavix(
+    const std::string& rest, const StorageOpenParams& params,
+    core::TransportKind transport) {
+  if (params.context == nullptr) {
+    return Status::InvalidArgument(
+        "davix storage schemes need StorageOpenParams::context");
+  }
+  core::RequestParams request = params.request;
+  request.transport = transport;
+  DAVIX_ASSIGN_OR_RETURN(
+      std::unique_ptr<DavixRandomAccessFile> file,
+      DavixRandomAccessFile::Open(params.context, "http://" + rest,
+                                  std::move(request)));
+  return std::unique_ptr<RandomAccessFile>(std::move(file));
+}
+
+/// xrd:// files own their client connection: the registry's caller holds
+/// one object, not a (client, file) pair with ordering obligations.
+class XrdOwnedFile : public RandomAccessFile {
+ public:
+  XrdOwnedFile(std::unique_ptr<xrootd::XrdClient> client,
+               std::unique_ptr<XrdRandomAccessFile> file)
+      : client_(std::move(client)), file_(std::move(file)) {}
+
+  // The file closes its handle through the client, so it must die first:
+  // members are destroyed in reverse declaration order below.
+  ~XrdOwnedFile() override { file_.reset(); }
+
+  uint64_t Size() const override { return file_->Size(); }
+  Result<std::string> PRead(uint64_t offset, uint64_t length) override {
+    return file_->PRead(offset, length);
+  }
+  Result<std::vector<std::string>> PReadVec(
+      const std::vector<http::ByteRange>& ranges) override {
+    return file_->PReadVec(ranges);
+  }
+  bool SupportsAsyncVec() const override { return file_->SupportsAsyncVec(); }
+  std::unique_ptr<PendingVecRead> PReadVecAsync(
+      const std::vector<http::ByteRange>& ranges) override {
+    return file_->PReadVecAsync(ranges);
+  }
+
+ private:
+  std::unique_ptr<xrootd::XrdClient> client_;
+  std::unique_ptr<XrdRandomAccessFile> file_;
+};
+
+Result<std::unique_ptr<RandomAccessFile>> OpenXrd(
+    const std::string& rest, const StorageOpenParams& /*params*/) {
+  // rest = host:port/path — the xrootd-like protocol always names an
+  // explicit port (there is no registered default here).
+  size_t slash = rest.find('/');
+  if (slash == std::string::npos) {
+    return Status::InvalidArgument("xrd:// URL lacks a path: " + rest);
+  }
+  std::string authority = rest.substr(0, slash);
+  std::string path = rest.substr(slash);
+  size_t colon = authority.rfind(':');
+  if (colon == std::string::npos || colon + 1 >= authority.size()) {
+    return Status::InvalidArgument("xrd:// URL needs host:port: " + rest);
+  }
+  std::string host = authority.substr(0, colon);
+  int port = 0;
+  for (size_t i = colon + 1; i < authority.size(); ++i) {
+    char c = authority[i];
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument("bad xrd:// port in: " + rest);
+    }
+    port = port * 10 + (c - '0');
+    if (port > 65535) {
+      return Status::InvalidArgument("bad xrd:// port in: " + rest);
+    }
+  }
+  DAVIX_ASSIGN_OR_RETURN(
+      std::unique_ptr<xrootd::XrdClient> client,
+      xrootd::XrdClient::Connect(host, static_cast<uint16_t>(port)));
+  DAVIX_RETURN_IF_ERROR(client->Login());
+  DAVIX_ASSIGN_OR_RETURN(std::unique_ptr<XrdRandomAccessFile> file,
+                         XrdRandomAccessFile::Open(client.get(), path));
+  return std::unique_ptr<RandomAccessFile>(
+      std::make_unique<XrdOwnedFile>(std::move(client), std::move(file)));
+}
+
+}  // namespace
+
+StorageAdapterRegistry& StorageAdapterRegistry::Default() {
+  static StorageAdapterRegistry* registry = [] {
+    auto* r = new StorageAdapterRegistry();
+    r->Register("davix", [](const std::string& rest,
+                            const StorageOpenParams& params) {
+      return OpenDavix(rest, params, core::TransportKind::kPooled);
+    });
+    r->Register("http", [](const std::string& rest,
+                           const StorageOpenParams& params) {
+      return OpenDavix(rest, params, core::TransportKind::kPooled);
+    });
+    r->Register("davix+mux", [](const std::string& rest,
+                                const StorageOpenParams& params) {
+      return OpenDavix(rest, params, core::TransportKind::kMux);
+    });
+    r->Register("xrd", [](const std::string& rest,
+                          const StorageOpenParams& params) {
+      return OpenXrd(rest, params);
+    });
+    return r;
+  }();
+  return *registry;
+}
+
+void StorageAdapterRegistry::Register(const std::string& scheme,
+                                      Opener opener) {
+  MutexLock lock(mu_);
+  openers_[scheme] = std::move(opener);
+}
+
+Result<std::unique_ptr<RandomAccessFile>> StorageAdapterRegistry::Open(
+    const std::string& url, const StorageOpenParams& params) const {
+  std::string scheme, rest;
+  if (!SplitScheme(url, &scheme, &rest)) {
+    return Status::InvalidArgument("storage URL lacks a scheme: " + url);
+  }
+  Opener opener;
+  {
+    MutexLock lock(mu_);
+    auto it = openers_.find(scheme);
+    if (it == openers_.end()) {
+      std::string known;
+      for (const auto& entry : openers_) {
+        if (!known.empty()) known += ", ";
+        known += entry.first;
+      }
+      return Status::NotSupported("no storage adapter for scheme '" + scheme +
+                                  "' (registered: " + known + ")");
+    }
+    opener = it->second;
+  }
+  return opener(rest, params);
+}
+
+std::vector<std::string> StorageAdapterRegistry::Schemes() const {
+  MutexLock lock(mu_);
+  std::vector<std::string> schemes;
+  for (const auto& entry : openers_) schemes.push_back(entry.first);
+  return schemes;
+}
+
+Result<std::unique_ptr<RandomAccessFile>> OpenStorage(
+    const std::string& url, const StorageOpenParams& params) {
+  return StorageAdapterRegistry::Default().Open(url, params);
+}
+
+}  // namespace root
+}  // namespace davix

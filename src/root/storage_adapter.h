@@ -1,0 +1,78 @@
+#ifndef DAVIX_ROOT_STORAGE_ADAPTER_H_
+#define DAVIX_ROOT_STORAGE_ADAPTER_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/status.h"
+#include "core/context.h"
+#include "core/request_params.h"
+#include "root/random_access_file.h"
+
+namespace davix {
+namespace root {
+
+/// Everything an opener may need to build a transport: the shared
+/// Context (session pool, dispatcher, cache) and the per-request tuning
+/// knobs, which each scheme plumbs through to its transport — e.g. the
+/// `davix+mux` opener forces RequestParams::transport to kMux but keeps
+/// the caller's deadlines, retry policy, and cache settings.
+struct StorageOpenParams {
+  /// Required for the davix-based schemes; must outlive the opened file.
+  core::Context* context = nullptr;
+  core::RequestParams request;
+};
+
+/// Scheme → transport registry, the `StorageAdapter` seam of ROADMAP
+/// item 2: analysis code names a URL ("davix://host:port/path") and the
+/// registry builds the matching RandomAccessFile, the way CMSSW's
+/// StorageMaker plugins map "http:"/"root:" onto TFile transports.
+///
+/// Built-in schemes (see Default()):
+///   davix://host:port/path      HTTP over the pooled transport
+///   http://host:port/path       alias of davix://
+///   davix+mux://host:port/path  same stack over the framed mux transport
+///   xrd://host:port/path        the xrootd-like protocol (the returned
+///                               file owns its client connection)
+///
+/// Thread-safe: yes — registration and lookup are serialised by an
+/// internal mutex; openers themselves run outside the lock.
+class StorageAdapterRegistry {
+ public:
+  /// Receives the URL with its "scheme://" prefix already stripped
+  /// ("host:port/path"), so openers never re-parse the scheme.
+  using Opener = std::function<Result<std::unique_ptr<RandomAccessFile>>(
+      const std::string& rest, const StorageOpenParams& params)>;
+
+  /// The process-wide registry, pre-registered with the built-in
+  /// schemes listed above.
+  static StorageAdapterRegistry& Default();
+
+  /// Registers (or overrides) the opener for `scheme` (no "://").
+  void Register(const std::string& scheme, Opener opener);
+
+  /// Splits the scheme off `url` and dispatches to its opener. Unknown
+  /// schemes fail with kNotSupported naming the registered ones.
+  Result<std::unique_ptr<RandomAccessFile>> Open(
+      const std::string& url, const StorageOpenParams& params) const;
+
+  /// Registered scheme names, sorted.
+  std::vector<std::string> Schemes() const;
+
+ private:
+  mutable Mutex mu_;
+  std::map<std::string, Opener> openers_ GUARDED_BY(mu_);
+};
+
+/// Convenience for the common case: Default().Open(url, params).
+Result<std::unique_ptr<RandomAccessFile>> OpenStorage(
+    const std::string& url, const StorageOpenParams& params);
+
+}  // namespace root
+}  // namespace davix
+
+#endif  // DAVIX_ROOT_STORAGE_ADAPTER_H_

@@ -27,6 +27,31 @@ Result<std::vector<std::string>> DavixRandomAccessFile::PReadVec(
   return file_.ReadPartialVec(ranges, params_);
 }
 
+namespace {
+
+/// Async token wrapping a dispatcher-scheduled ReadPartialVec. The
+/// owning DavixRandomAccessFile must stay alive until Wait() returns
+/// (the TreeCache drains every pending token before teardown).
+class DavixPendingVecRead : public PendingVecRead {
+ public:
+  explicit DavixPendingVecRead(
+      std::future<Result<std::vector<std::string>>> future)
+      : future_(std::move(future)) {}
+
+  Result<std::vector<std::string>> Wait() override { return future_.get(); }
+
+ private:
+  std::future<Result<std::vector<std::string>>> future_;
+};
+
+}  // namespace
+
+std::unique_ptr<PendingVecRead> DavixRandomAccessFile::PReadVecAsync(
+    const std::vector<http::ByteRange>& ranges) {
+  return std::make_unique<DavixPendingVecRead>(
+      file_.ReadPartialVecAsync(ranges, params_));
+}
+
 Result<std::unique_ptr<XrdRandomAccessFile>> XrdRandomAccessFile::Open(
     xrootd::XrdClient* client, const std::string& path) {
   DAVIX_ASSIGN_OR_RETURN(xrootd::OpenInfo info, client->Open(path));

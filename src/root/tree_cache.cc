@@ -18,6 +18,15 @@ TreeCache::TreeCache(TreeReader* reader, std::vector<size_t> active_branches,
     std::iota(active_branches_.begin(), active_branches_.end(), 0);
   }
   if (config_.cluster_rows == 0) config_.cluster_rows = 1;
+  if (config_.prefetch_pipeline_clusters == 0) {
+    config_.prefetch_pipeline_clusters = 1;
+  }
+}
+
+TreeCache::~TreeCache() {
+  // Drain in-flight transport calls before the file (and this object)
+  // can go away; whatever they carried is dropped unconsumed.
+  while (!pipeline_.empty()) DiscardFrontPrefetch();
 }
 
 void TreeCache::PlanCluster(
@@ -44,34 +53,106 @@ void TreeCache::PlanCluster(
   }
 }
 
+void TreeCache::DiscardFrontPrefetch() {
+  Prefetch stale = std::move(pipeline_.front());
+  pipeline_.pop_front();
+  inflight_prefetch_bytes_ -= stale.planned_bytes;
+  // The transport call must finish before its buffers (and the file it
+  // reads through) can be released; the payload is then dropped.
+  (void)stale.pending->Wait();
+  ++stats_.prefetch_discards;
+}
+
+void TreeCache::TopUpPipeline(uint64_t current_first_row) {
+  bool engage = config_.prefetch_latency_threshold_micros == 0 ||
+                high_latency_path_;
+  if (!engage || !config_.async_prefetch ||
+      !reader_->file()->SupportsAsyncVec()) {
+    return;
+  }
+  // A budget-truncated entry already owns the rest of the window; going
+  // deeper would fetch cluster N+2 bytes before N+1 is complete.
+  if (!pipeline_.empty() && pipeline_.back().truncated) return;
+  uint64_t n_rows = reader_->spec().BasketCountPerBranch();
+  uint64_t next_first = pipeline_.empty()
+                            ? current_first_row + config_.cluster_rows
+                            : pipeline_.back().first_row + config_.cluster_rows;
+  while (pipeline_.size() < config_.prefetch_pipeline_clusters &&
+         next_first < n_rows) {
+    uint64_t budget = 0;  // 0 = the whole cluster
+    if (config_.prefetch_window_bytes > 0) {
+      if (inflight_prefetch_bytes_ >= config_.prefetch_window_bytes) return;
+      budget = config_.prefetch_window_bytes - inflight_prefetch_bytes_;
+    }
+    Prefetch prefetch;
+    prefetch.first_row = next_first;
+    PlanCluster(next_first, budget, &prefetch.keys, &prefetch.ranges);
+    if (prefetch.keys.empty()) return;
+    uint64_t rows_in_cluster =
+        std::min<uint64_t>(next_first + config_.cluster_rows, n_rows) -
+        next_first;
+    prefetch.truncated =
+        prefetch.keys.size() < rows_in_cluster * active_branches_.size();
+    // A budget-truncated prefix pays a synchronous remainder fetch when
+    // consumed. That trade is worth it only for the immediate next
+    // cluster (the prefix still overlaps with the current compute); deep
+    // in the pipeline it would just stall the window, so stop instead
+    // and let the freed budget issue a full cluster later.
+    if (prefetch.truncated && !pipeline_.empty()) return;
+    for (const http::ByteRange& range : prefetch.ranges) {
+      prefetch.planned_bytes += range.length;
+    }
+    ++stats_.vector_reads;
+    stats_.ranges_requested += prefetch.ranges.size();
+    prefetch.pending = reader_->file()->PReadVecAsync(prefetch.ranges);
+    inflight_prefetch_bytes_ += prefetch.planned_bytes;
+    bool truncated = prefetch.truncated;
+    pipeline_.push_back(std::move(prefetch));
+    if (truncated) return;
+    next_first += config_.cluster_rows;
+  }
+}
+
 Status TreeCache::LoadCluster(uint64_t row) {
   uint64_t first_row = ClusterOf(row) * config_.cluster_rows;
   auto cluster = std::make_unique<Cluster>();
   cluster->first_row = first_row;
 
+  // Entries ahead of the one we need cannot be consumed (the pipeline is
+  // ordered): a seek invalidated them. Discard-and-count, never leak.
+  while (!pipeline_.empty() && pipeline_.front().first_row != first_row) {
+    DiscardFrontPrefetch();
+  }
+
   std::vector<std::pair<size_t, uint64_t>> have_keys;
-  // Use the async prefetch if it targeted this cluster.
-  if (prefetch_ != nullptr && prefetch_->first_row == first_row) {
-    Prefetch prefetch = std::move(*prefetch_);
-    prefetch_.reset();
+  if (!pipeline_.empty()) {
+    Prefetch prefetch = std::move(pipeline_.front());
+    pipeline_.pop_front();
+    inflight_prefetch_bytes_ -= prefetch.planned_bytes;
+    // The popped entry is now the demand fetch, not an early request: its
+    // bytes leave the window, so deeper clusters can be issued *before*
+    // blocking on it — the refill overlaps with this cluster's wait and
+    // decompression both.
+    TopUpPipeline(first_row);
+    int64_t wait_start = MonotonicMicros();
     Result<std::vector<std::string>> data = prefetch.pending->Wait();
+    stats_.prefetch_wait_micros +=
+        static_cast<uint64_t>(MonotonicMicros() - wait_start);
     if (data.ok()) {
       ++stats_.async_prefetches;
       for (size_t i = 0; i < prefetch.keys.size(); ++i) {
         stats_.bytes_fetched += (*data)[i].size();
+        stats_.bytes_prefetched_early += (*data)[i].size();
         cluster->blobs[prefetch.keys[i]] = std::move((*data)[i]);
       }
       have_keys = std::move(prefetch.keys);
     }
     // On prefetch failure fall through: the synchronous read below
-    // fetches everything.
-  } else if (prefetch_ != nullptr) {
-    // Stale prefetch (seek / fraction boundary): discard its data.
-    prefetch_->pending->Wait();
-    prefetch_.reset();
+    // fetches everything, so a transient in-flight error never doubles.
   }
 
-  // Fetch whatever the prefetch did not cover, synchronously.
+  // Fetch whatever the prefetch did not cover, synchronously — only the
+  // missing suffix, so early bytes are never requested twice.
   std::vector<std::pair<size_t, uint64_t>> keys;
   std::vector<http::ByteRange> ranges;
   PlanCluster(first_row, 0, &keys, &ranges);
@@ -105,26 +186,9 @@ Status TreeCache::LoadCluster(uint64_t row) {
   ++stats_.clusters_fetched;
   cluster_ = std::move(cluster);
 
-  // Kick off the overlapped prefetch of (a window of) the next cluster.
-  bool engage = config_.prefetch_latency_threshold_micros == 0 ||
-                high_latency_path_;
-  if (engage && config_.async_prefetch &&
-      reader_->file()->SupportsAsyncVec()) {
-    uint64_t next_first = first_row + config_.cluster_rows;
-    if (next_first < reader_->spec().BasketCountPerBranch()) {
-      auto prefetch = std::make_unique<Prefetch>();
-      prefetch->first_row = next_first;
-      PlanCluster(next_first, config_.prefetch_window_bytes, &prefetch->keys,
-                  &prefetch->ranges);
-      if (!prefetch->keys.empty()) {
-        ++stats_.vector_reads;
-        stats_.ranges_requested += prefetch->ranges.size();
-        prefetch->pending =
-            reader_->file()->PReadVecAsync(prefetch->ranges);
-        prefetch_ = std::move(prefetch);
-      }
-    }
-  }
+  // Keep the sliding window full: plan cluster N+1 (and deeper, up to
+  // the pipeline depth) while N decompresses.
+  TopUpPipeline(first_row);
   return Status::OK();
 }
 

@@ -2,6 +2,7 @@
 #define DAVIX_ROOT_TREE_CACHE_H_
 
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <string>
@@ -24,15 +25,26 @@ struct TreeCacheConfig {
   /// Basket rows (cluster steps) fetched per vectored read.
   uint32_t cluster_rows = 4;
 
-  /// Overlap the fetch of the next cluster with consumption of the
+  /// Overlap the fetch of upcoming clusters with consumption of the
   /// current one when the transport supports asynchronous vectored reads
-  /// (XRootD-style). Ignored for synchronous transports like davix.
+  /// (both the XRootD adapter and the dispatcher-backed davix adapter
+  /// do). Off by default: the synchronous behaviour is the paper's
+  /// davix design point that Figure 4's WAN column exposes.
   bool async_prefetch = false;
 
+  /// How many future clusters may be in flight at once — the pipeline
+  /// depth. Depth 1 reproduces the classic "one pending prefetch"
+  /// sliding window; depth >= 2 keeps a fetch in flight even while the
+  /// just-arrived cluster is being decompressed, which is what hides
+  /// full WAN round trips behind compute. Clamped to at least 1.
+  uint32_t prefetch_pipeline_clusters = 2;
+
   /// Byte budget of the asynchronous prefetch window (the "sliding
-  /// window" of §3): at most this many bytes of the next cluster are
-  /// requested early; the remainder is fetched synchronously on arrival.
-  /// 0 = prefetch the entire next cluster.
+  /// window" of §3): at most this many bytes may be requested early
+  /// across all in-flight prefetches; a cluster whose prefix exhausts
+  /// the budget is requested partially and the remainder is fetched
+  /// synchronously on arrival (never refetching the early bytes).
+  /// 0 = no byte cap; the window is bounded by the pipeline depth only.
   uint64_t prefetch_window_bytes = 2 * 1024 * 1024;
 
   /// Adaptive engagement: read-ahead only pays off on high-latency
@@ -46,10 +58,21 @@ struct TreeCacheConfig {
 struct TreeCacheStats {
   uint64_t vector_reads = 0;      ///< vectored read calls issued
   uint64_t ranges_requested = 0;  ///< basket ranges inside them
-  uint64_t bytes_fetched = 0;
+  uint64_t bytes_fetched = 0;     ///< payload bytes delivered to the cache
   uint64_t clusters_fetched = 0;
-  uint64_t async_prefetches = 0;  ///< prefetches that overlapped
+  uint64_t async_prefetches = 0;  ///< prefetches consumed by a cluster load
   uint64_t single_reads = 0;      ///< per-basket reads (cache disabled)
+  /// Bytes that arrived through a consumed prefetch — the early-requested
+  /// portion of bytes_fetched (the rest came from synchronous remainders).
+  uint64_t bytes_prefetched_early = 0;
+  /// Prefetches discarded because the consumer seeked elsewhere (or the
+  /// cache was destroyed with fetches in flight). Their bytes are not
+  /// counted in bytes_fetched.
+  uint64_t prefetch_discards = 0;
+  /// Time spent blocked waiting on consumed prefetches. The overlap win
+  /// is the fetch latency this number does NOT contain: a prefetch fully
+  /// hidden behind compute contributes ~0 here.
+  uint64_t prefetch_wait_micros = 0;
 };
 
 /// The TTreeCache reproduction (§2.3): "this feature allows to gather
@@ -59,16 +82,25 @@ struct TreeCacheStats {
 ///
 /// Baskets are served from a per-cluster cache; moving into a new
 /// cluster triggers one vectored read covering the active branches'
-/// baskets for `cluster_rows` basket rows, optionally overlapped with
-/// computation via async prefetch (the XRootD-side advantage).
+/// baskets for `cluster_rows` basket rows. With async_prefetch on and an
+/// async-capable transport, upcoming clusters are fetched through a
+/// pipelined sliding window (up to `prefetch_pipeline_clusters` in
+/// flight, `prefetch_window_bytes` requested early) so fetch overlaps
+/// decompression and compute — on both XRootD and davix transports.
 ///
-/// Not thread-safe: one cache per analysis job, like TTreeCache.
+/// Not thread-safe: one cache per analysis job, like TTreeCache. (The
+/// in-flight prefetches it owns run on the transport's own threads; the
+/// destructor drains them before returning.)
 class TreeCache {
  public:
   /// `reader` must outlive the cache. `active_branches` are indices into
   /// the tree's branch list; empty means all branches.
   TreeCache(TreeReader* reader, std::vector<size_t> active_branches,
             TreeCacheConfig config = {});
+
+  /// Drains any in-flight prefetches (counted as discards) so no
+  /// transport callback outlives the cache or its file.
+  ~TreeCache();
 
   /// Decompressed basket `row` of branch `branch`. The returned pointer
   /// stays valid until the cache moves two clusters ahead.
@@ -88,12 +120,18 @@ class TreeCache {
         decoded;
   };
 
-  /// Pending async prefetch of (a prefix of) a cluster.
+  /// One in-flight async prefetch of (a prefix of) a future cluster.
   struct Prefetch {
     uint64_t first_row = 0;
     std::vector<std::pair<size_t, uint64_t>> keys;  // range order
     std::vector<http::ByteRange> ranges;
     std::unique_ptr<PendingVecRead> pending;
+    /// Sum of the requested range lengths, held against the window
+    /// budget until the prefetch is consumed or discarded.
+    uint64_t planned_bytes = 0;
+    /// True when the byte budget truncated this cluster's plan (only a
+    /// prefix was requested); deeper pipelining stops at such an entry.
+    bool truncated = false;
   };
 
   uint64_t ClusterOf(uint64_t row) const {
@@ -106,17 +144,30 @@ class TreeCache {
                    std::vector<std::pair<size_t, uint64_t>>* keys,
                    std::vector<http::ByteRange>* ranges) const;
 
-  /// Makes `cluster_` hold the cluster containing `row`, using the
-  /// pending prefetch when it matches, then (maybe) starts the next
-  /// prefetch.
+  /// Makes `cluster_` hold the cluster containing `row`: consumes the
+  /// matching pipelined prefetch (discarding mismatched ones), fetches
+  /// the uncovered remainder synchronously, then tops the pipeline back
+  /// up with fetches of upcoming clusters.
   Status LoadCluster(uint64_t row);
+
+  /// Pops the front pipeline entry, waits out its transport call, and
+  /// counts it as a discard (its bytes are dropped).
+  void DiscardFrontPrefetch();
+
+  /// Starts new prefetches for clusters after `current_first_row` (or
+  /// after the deepest already in flight) until the pipeline depth or
+  /// the window byte budget is reached.
+  void TopUpPipeline(uint64_t current_first_row);
 
   TreeReader* reader_;
   std::vector<size_t> active_branches_;
   TreeCacheConfig config_;
   TreeCacheStats stats_;
   std::unique_ptr<Cluster> cluster_;
-  std::unique_ptr<Prefetch> prefetch_;
+  /// In-flight prefetches, ordered by first_row (front = next expected).
+  std::deque<Prefetch> pipeline_;
+  /// Sum of planned_bytes across pipeline_ — the window occupancy.
+  uint64_t inflight_prefetch_bytes_ = 0;
   /// Latched true once a synchronous fetch crossed the latency
   /// threshold; gates async prefetch when a threshold is configured.
   bool high_latency_path_ = false;

@@ -229,6 +229,20 @@ Result<TreeIndex> ParseTreeIndex(std::string_view head) {
   }
 
   uint64_t n_baskets = index.spec.BasketCountPerBranch();
+  // BasketCountPerBranch rounds up via `n_events + events_per_basket - 1`,
+  // which wraps for a near-2^64 declared event count and would make a
+  // nonsense header look like an empty (zero-basket) index.
+  if (index.spec.n_events != 0 && n_baskets == 0) {
+    return Status::Corruption("tree event count overflows basket count");
+  }
+  // Every basket record must actually be present in the region before
+  // anything is allocated for it — an oversized n_events would otherwise
+  // drive a huge .assign() off 16 attacker-controlled header bytes.
+  // Division keeps the capacity math overflow-free.
+  uint64_t record_capacity = (head.size() - pos) / 16 / n_branches;
+  if (n_baskets > record_capacity) {
+    return Status::Corruption("basket index larger than tree index region");
+  }
   index.baskets.assign(n_branches, std::vector<BasketInfo>(n_baskets));
   for (uint32_t b = 0; b < n_branches; ++b) {
     for (uint64_t k = 0; k < n_baskets; ++k) {
@@ -240,8 +254,10 @@ Result<TreeIndex> ParseTreeIndex(std::string_view head) {
       info.stored_length = GetU32(head.data() + pos + 8);
       info.raw_length = GetU32(head.data() + pos + 12);
       pos += 16;
-      if (info.offset < data_begin ||
-          info.offset + info.stored_length > index.file_size) {
+      // Subtraction form: `offset + stored_length` could wrap uint64 and
+      // sneak an out-of-file basket past the bound check.
+      if (info.offset < data_begin || info.offset > index.file_size ||
+          info.stored_length > index.file_size - info.offset) {
         return Status::Corruption("basket outside file bounds");
       }
     }

@@ -26,5 +26,14 @@ Result<std::string> TreeReader::DecodeBasket(std::string_view blob) {
   return compress::Decompress(blob);
 }
 
+Result<OwnedTree> OpenTreeUrl(const std::string& url,
+                              const StorageOpenParams& params) {
+  OwnedTree tree;
+  DAVIX_ASSIGN_OR_RETURN(tree.file, OpenStorage(url, params));
+  DAVIX_ASSIGN_OR_RETURN(TreeReader reader, TreeReader::Open(tree.file.get()));
+  tree.reader = std::make_unique<TreeReader>(std::move(reader));
+  return tree;
+}
+
 }  // namespace root
 }  // namespace davix

@@ -1,10 +1,12 @@
 #ifndef DAVIX_ROOT_TREE_READER_H_
 #define DAVIX_ROOT_TREE_READER_H_
 
+#include <memory>
 #include <string>
 
 #include "common/status.h"
 #include "root/random_access_file.h"
+#include "root/storage_adapter.h"
 #include "root/tree_format.h"
 
 namespace davix {
@@ -35,6 +37,20 @@ class TreeReader {
   RandomAccessFile* file_;
   TreeIndex index_;
 };
+
+/// A TreeReader bundled with the transport it reads through — the
+/// "TFile::Open(url)" shape: OpenTreeUrl resolves the scheme through the
+/// StorageAdapter registry and keeps the transport alive for the
+/// reader's lifetime.
+struct OwnedTree {
+  std::unique_ptr<RandomAccessFile> file;
+  std::unique_ptr<TreeReader> reader;
+};
+
+/// Opens `url` via StorageAdapterRegistry::Default() and parses the tree
+/// header + index over the resulting transport.
+Result<OwnedTree> OpenTreeUrl(const std::string& url,
+                              const StorageOpenParams& params);
 
 }  // namespace root
 }  // namespace davix

@@ -103,6 +103,125 @@ TEST_P(TreeFuzzTest, CorruptIndexRegionsRejected) {
 INSTANTIATE_TEST_SUITE_P(Seeds, TreeFuzzTest,
                          ::testing::Range<uint64_t>(1, 17));
 
+// Directed record-level fuzzing of the tree header + basket index
+// grammar: unlike TreeFuzzTest (whole-file corruption, most rounds land
+// in basket payloads), every input here stresses the record parsers.
+namespace {
+
+root::TreeSpec SmallTreeSpec() {
+  root::TreeSpec spec;
+  spec.n_events = 200;
+  spec.events_per_basket = 50;
+  spec.branches = {{"a", 4}, {"b", 16}};
+  return spec;
+}
+
+/// Overwrites `width` bytes at `pos` with a little-endian value, the
+/// same encoding tree_format uses for its header fields.
+void PokeField(std::string* file, size_t pos, uint64_t value, size_t width) {
+  for (size_t i = 0; i < width; ++i) {
+    (*file)[pos + i] = static_cast<char>(value >> (8 * i));
+  }
+}
+
+}  // namespace
+
+TEST(TreeRecordDirectedTest, EveryHeaderAndIndexTruncationErrorsCleanly) {
+  std::string file = root::BuildTreeFile(SmallTreeSpec(), 1);
+  uint64_t region = *root::TreeIndexRegionSize(file);
+  ASSERT_GT(region, root::kTreeHeaderSize);
+  // Every proper prefix of the header+index region must be a clean
+  // error — records are bounds-checked, never over-read.
+  for (size_t cut = 0; cut < region; ++cut) {
+    EXPECT_FALSE(root::ParseTreeIndex(file.substr(0, cut)).ok())
+        << "prefix of " << cut << " bytes parsed";
+    if (cut < root::kTreeHeaderSize) {
+      EXPECT_FALSE(root::TreeIndexRegionSize(file.substr(0, cut)).ok());
+    }
+  }
+  // The exact region parses — truncation detection is not over-eager.
+  EXPECT_OK(root::ParseTreeIndex(file.substr(0, region)).status());
+}
+
+TEST(TreeRecordDirectedTest, OversizedDeclaredFieldsRejectedWithoutOverRead) {
+  const std::string file = root::BuildTreeFile(SmallTreeSpec(), 1);
+  // Header field offsets: n_events u64 @8, events_per_basket u32 @16,
+  // n_branches u32 @21, file_size u64 @25, data_begin u64 @33.
+  struct Mutation {
+    size_t pos;
+    uint64_t value;
+    size_t width;
+  } mutations[] = {
+      {8, ~0ull, 8},          // n_events: astronomically many baskets
+      {8, 1ull << 60, 8},     // n_events: capacity * 16 would overflow
+      {16, 0, 4},             // events_per_basket: division by zero guard
+      {21, ~0ull, 4},         // n_branches: far past the sanity cap
+      {21, 4096, 4},          // n_branches: cap-compliant, table truncated
+      {33, ~0ull, 8},         // data_begin: region beyond the input
+      {33, 1ull << 40, 8},    // data_begin: plausible-looking but absent
+  };
+  for (const Mutation& mutation : mutations) {
+    std::string mutated = file;
+    PokeField(&mutated, mutation.pos, mutation.value, mutation.width);
+    Result<root::TreeIndex> index = root::ParseTreeIndex(mutated);
+    EXPECT_FALSE(index.ok()) << "field at " << mutation.pos << " = "
+                             << mutation.value << " accepted";
+  }
+}
+
+TEST(TreeRecordDirectedTest, WrappingBasketRecordBoundsRejected) {
+  std::string file = root::BuildTreeFile(SmallTreeSpec(), 1);
+  uint64_t region = *root::TreeIndexRegionSize(file);
+  // First basket record sits at the end of the branch table; poke its
+  // offset/stored_length with values whose sum wraps uint64 — the
+  // subtraction-form bound check must still reject them.
+  size_t branch_table = 0;
+  for (const root::BranchSpec& branch : SmallTreeSpec().branches) {
+    branch_table += 2 + branch.name.size() + 4;
+  }
+  size_t first_record = root::kTreeHeaderSize + branch_table;
+  ASSERT_LT(first_record + 16, region);
+  std::string wrapped = file;
+  PokeField(&wrapped, first_record, ~0ull - 7, 8);      // offset near 2^64
+  PokeField(&wrapped, first_record + 8, 64, 4);         // offset+len wraps
+  EXPECT_FALSE(root::ParseTreeIndex(wrapped).ok());
+  std::string outside = file;
+  PokeField(&outside, first_record, file.size() + 1, 8);  // past file_size
+  EXPECT_FALSE(root::ParseTreeIndex(outside).ok());
+}
+
+class TreeRecordFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TreeRecordFuzzTest, CorruptRecordRegionParsesCleanlyOrNotAtAll) {
+  Rng rng(GetParam());
+  std::string file = root::BuildTreeFile(SmallTreeSpec(), GetParam());
+  uint64_t region = *root::TreeIndexRegionSize(file);
+  for (int round = 0; round < 40; ++round) {
+    // Corrupt only the header+index region, then offer the parser just
+    // that region (plus whatever the truncation operator left) — every
+    // round exercises record parsing, none is absorbed by payload bytes.
+    std::string head = Corrupt(file.substr(0, region), &rng);
+    Result<root::TreeIndex> index = root::ParseTreeIndex(head);
+    if (!index.ok()) continue;
+    // Whatever parsed must be internally consistent and re-parse to the
+    // same shape (no read past the declared region, no flaky accepts).
+    EXPECT_LE(index->spec.branches.size(), 4096u);
+    for (const auto& branch : index->baskets) {
+      for (const root::BasketInfo& basket : branch) {
+        EXPECT_GE(basket.offset, index->data_begin);
+        EXPECT_LE(basket.offset + basket.stored_length, index->file_size);
+      }
+    }
+    Result<root::TreeIndex> again = root::ParseTreeIndex(head);
+    ASSERT_OK(again.status());
+    EXPECT_EQ(again->spec.branches.size(), index->spec.branches.size());
+    EXPECT_EQ(again->data_begin, index->data_begin);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TreeRecordFuzzTest,
+                         ::testing::Range<uint64_t>(1, 17));
+
 class XmlFuzzTest : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(XmlFuzzTest, CorruptDocumentsNeverCrash) {

@@ -78,6 +78,134 @@ TEST(SplitBatchesTest, ZeroCapActsAsOne) {
   EXPECT_EQ(SplitBatches(wire, 0).size(), 3u);
 }
 
+TEST(SplitBatchesTest, ByteCapClosesBatches) {
+  // Five 100-byte wire ranges, 250-byte cap: batches close at >= 250
+  // bytes, so [3, 2] — the count cap alone (10) would keep all five
+  // together.
+  std::vector<CoalescedRange> wire(5);
+  for (size_t i = 0; i < wire.size(); ++i) {
+    wire[i].range = {i * 1000, 100};
+  }
+  auto batches = SplitBatches(wire, 10, 250);
+  ASSERT_EQ(batches.size(), 2u);
+  EXPECT_EQ(batches[0].size(), 3u);
+  EXPECT_EQ(batches[1].size(), 2u);
+}
+
+TEST(SplitBatchesTest, ByteCapTakesAtLeastOneRange) {
+  // A single wire range larger than the cap still forms a batch.
+  std::vector<CoalescedRange> wire(3);
+  for (size_t i = 0; i < wire.size(); ++i) {
+    wire[i].range = {i * 1000, 500};
+  }
+  auto batches = SplitBatches(wire, 10, 100);
+  ASSERT_EQ(batches.size(), 3u);
+  for (const auto& batch : batches) EXPECT_EQ(batch.size(), 1u);
+}
+
+TEST(SplitOversizedTest, ZeroChunkBytesPassesThrough) {
+  auto wire = CoalesceRanges({{0, 100}, {100, 100}}, 0);
+  ASSERT_EQ(wire.size(), 1u);
+  auto out = SplitOversized(wire, {{0, 100}, {100, 100}}, 0);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].range, (ByteRange{0, 200}));
+}
+
+TEST(SplitOversizedTest, CutsOnSourceBoundaries) {
+  // Four adjacent 100-byte user ranges coalesce to one 400-byte wire
+  // range; a 200-byte chunk limit cuts it into two chunks of two
+  // sources each, at the user-range boundary.
+  std::vector<ByteRange> requested = {{0, 100}, {100, 100}, {200, 100},
+                                      {300, 100}};
+  auto wire = CoalesceRanges(requested, 0);
+  ASSERT_EQ(wire.size(), 1u);
+  auto out = SplitOversized(std::move(wire), requested, 200);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].range, (ByteRange{0, 200}));
+  EXPECT_EQ(out[1].range, (ByteRange{200, 200}));
+  EXPECT_EQ(out[0].sources, (std::vector<size_t>{0, 1}));
+  EXPECT_EQ(out[1].sources, (std::vector<size_t>{2, 3}));
+}
+
+TEST(SplitOversizedTest, SingleHugeSourceNeverSplit) {
+  // One user range larger than the chunk limit must stay whole: its
+  // scatter slot is filled exactly once.
+  std::vector<ByteRange> requested = {{0, 1000}};
+  auto wire = CoalesceRanges(requested, 0);
+  auto out = SplitOversized(std::move(wire), requested, 64);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].range, (ByteRange{0, 1000}));
+}
+
+TEST(SplitOversizedTest, OversizedSourceInRunGetsOwnChunk) {
+  // small + huge + small: the huge middle source exceeds the limit on
+  // its own, so it lands in its own chunk and the smalls split around it.
+  std::vector<ByteRange> requested = {{0, 50}, {50, 500}, {550, 50}};
+  auto wire = CoalesceRanges(requested, 0);
+  ASSERT_EQ(wire.size(), 1u);
+  auto out = SplitOversized(std::move(wire), requested, 100);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].range, (ByteRange{0, 50}));
+  EXPECT_EQ(out[1].range, (ByteRange{50, 500}));
+  EXPECT_EQ(out[2].range, (ByteRange{550, 50}));
+}
+
+// Property: splitting preserves the coalescing containment invariant and
+// scatter still reconstructs every user byte, over random workloads.
+class SplitOversizedPropertyTest : public ::testing::TestWithParam<uint64_t> {
+};
+
+TEST_P(SplitOversizedPropertyTest, ContainmentAndScatterSurvive) {
+  Rng rng(GetParam());
+  std::string resource = rng.Bytes(1 << 16);
+  size_t n = 1 + rng.Below(80);
+  std::vector<ByteRange> requested;
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t offset = rng.Below(resource.size() - 1);
+    uint64_t length = 1 + rng.Below(2048);
+    length = std::min<uint64_t>(length, resource.size() - offset);
+    requested.push_back(ByteRange{offset, length});
+  }
+  uint64_t max_gap = rng.Below(512);
+  uint64_t max_chunk = 1 + rng.Below(4096);
+  auto wire = SplitOversized(CoalesceRanges(requested, max_gap), requested,
+                             max_chunk);
+
+  // Every user range contained in exactly one chunk; multi-source chunks
+  // respect the byte limit.
+  std::vector<int> covered(requested.size(), 0);
+  for (const CoalescedRange& w : wire) {
+    ASSERT_FALSE(w.sources.empty());
+    if (w.sources.size() >= 2) {
+      EXPECT_LE(w.range.length, max_chunk);
+    }
+    for (size_t idx : w.sources) {
+      ++covered[idx];
+      EXPECT_GE(requested[idx].offset, w.range.offset);
+      EXPECT_LE(requested[idx].offset + requested[idx].length,
+                w.range.offset + w.range.length);
+    }
+  }
+  for (size_t i = 0; i < requested.size(); ++i) {
+    EXPECT_EQ(covered[i], 1) << "index " << i;
+  }
+
+  // Scatter through the chunked plan reconstructs the user bytes.
+  std::vector<std::string> results(requested.size());
+  for (const CoalescedRange& w : wire) {
+    ASSERT_OK(ScatterWireRange(
+        w, std::string_view(resource).substr(w.range.offset, w.range.length),
+        requested, &results));
+  }
+  for (size_t i = 0; i < requested.size(); ++i) {
+    EXPECT_EQ(results[i], resource.substr(requested[i].offset,
+                                          requested[i].length));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SplitOversizedPropertyTest,
+                         ::testing::Range<uint64_t>(1, 49));
+
 TEST(ScatterTest, FillsUserSlots) {
   std::vector<ByteRange> requested = {{10, 5}, {20, 5}};
   auto wire_ranges = CoalesceRanges(requested, 100);
